@@ -1,0 +1,160 @@
+// Reproduces Fig. 4 (a: AI task allocation, b: triangle count ratio,
+// c: best-cost convergence) and Table III (per-task assignments + ratio)
+// across the paper's four scenario combinations SC1/SC2 x CF1/CF2 on the
+// Pixel 7, plus a dump of the Table II scenario definitions.
+//
+// Shape targets (Section V-B): in the heavy SC1 scenarios HBO relocates
+// the GPU-affine tasks to the CPU and reduces the triangle ratio; in the
+// light SC2 scenarios tasks keep (or nearly keep) their preferred
+// delegates and the ratio stays near 1. Convergence reaches its best cost
+// within the 20-iteration budget — best case ~7 iterations, ~13 on
+// average in the paper.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hbosim/common/table.hpp"
+#include "hbosim/core/controller.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+using namespace hbosim;
+
+namespace {
+
+struct ScenarioRun {
+  std::string name;
+  std::vector<std::string> labels;
+  core::ActivationResult result;
+};
+
+ScenarioRun run_scenario(const soc::DeviceProfile& device,
+                         scenario::ObjectSet objects, scenario::TaskSet tasks) {
+  ScenarioRun run;
+  run.name = std::string(scenario::object_set_name(objects)) + "-" +
+             scenario::task_set_name(tasks);
+  auto app = scenario::make_app(device, objects, tasks);
+  run.labels = app->task_labels();
+  core::HboConfig cfg;
+  core::HboController hbo(*app, cfg);
+  run.result = hbo.run_activation();
+  return run;
+}
+
+void print_table2() {
+  benchutil::section("Table II: example scenarios (inputs)");
+  TextTable objs(std::vector<std::string>{"Object set", "Mesh", "Distance (m)",
+                                          "Max triangles"});
+  for (auto set : {scenario::ObjectSet::SC1, scenario::ObjectSet::SC2}) {
+    for (const auto& p : scenario::object_placements(set)) {
+      objs.add_row({scenario::object_set_name(set), p.asset->name(),
+                    TextTable::num(p.distance_m, 1),
+                    std::to_string(p.asset->max_triangles())});
+    }
+  }
+  objs.print(std::cout);
+  TextTable tasks(std::vector<std::string>{"Taskset", "Model", "Label"});
+  for (auto set : {scenario::TaskSet::CF1, scenario::TaskSet::CF2}) {
+    for (const auto& t : scenario::task_specs(set))
+      tasks.add_row({scenario::task_set_name(set), t.model, t.label});
+  }
+  tasks.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Fig. 4 + Table III",
+                    "HBO behavior across SC1/SC2 x CF1/CF2 (Pixel 7)");
+  print_table2();
+
+  const soc::DeviceProfile device = soc::pixel7();
+  std::vector<ScenarioRun> runs;
+  runs.push_back(
+      run_scenario(device, scenario::ObjectSet::SC1, scenario::TaskSet::CF1));
+  runs.push_back(
+      run_scenario(device, scenario::ObjectSet::SC2, scenario::TaskSet::CF1));
+  runs.push_back(
+      run_scenario(device, scenario::ObjectSet::SC1, scenario::TaskSet::CF2));
+  runs.push_back(
+      run_scenario(device, scenario::ObjectSet::SC2, scenario::TaskSet::CF2));
+
+  // --- Table III ------------------------------------------------------------
+  benchutil::section("Table III: AI allocation and triangle ratio");
+  // Row space: union of CF1 labels (CF2 is a subset by model).
+  std::vector<std::string> header = {"AI Model/Scenario"};
+  for (const auto& run : runs) header.push_back(run.name);
+  TextTable table(header);
+  const std::vector<std::string>& all_labels = runs[0].labels;
+  for (std::size_t t = 0; t < all_labels.size(); ++t) {
+    std::vector<std::string> row = {all_labels[t]};
+    for (const auto& run : runs) {
+      std::string cell = "-";
+      for (std::size_t k = 0; k < run.labels.size(); ++k) {
+        if (run.labels[k] == all_labels[t]) {
+          cell = soc::delegate_name(run.result.best().allocation[k]);
+          break;
+        }
+      }
+      row.push_back(cell);
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> ratio_row = {"Triangle Count Ratio"};
+  for (const auto& run : runs)
+    ratio_row.push_back(TextTable::num(run.result.best().triangle_ratio, 2));
+  table.add_row(ratio_row);
+  table.print(std::cout);
+
+  // --- Fig. 4c: best-cost convergence ----------------------------------------
+  benchutil::section("Fig. 4c: best cost vs iteration (running minimum)");
+  std::vector<std::string> chead = {"iter"};
+  for (const auto& run : runs) chead.push_back(run.name);
+  TextTable conv(chead);
+  const std::size_t iters = runs[0].result.history.size();
+  std::vector<std::vector<double>> curves;
+  for (const auto& run : runs) curves.push_back(run.result.best_cost_curve());
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const auto& curve : curves) row.push_back(TextTable::num(curve[i], 3));
+    conv.add_row(row);
+  }
+  conv.print(std::cout);
+
+  // --- recap ------------------------------------------------------------------
+  benchutil::section("Paper vs measured (shape check)");
+  benchutil::recap_line("SC1-CF1 triangle ratio", "0.72",
+                        TextTable::num(runs[0].result.best().triangle_ratio, 2));
+  benchutil::recap_line("SC2-CF1 triangle ratio", "1.00",
+                        TextTable::num(runs[1].result.best().triangle_ratio, 2));
+  benchutil::recap_line("SC1-CF2 triangle ratio", "0.85",
+                        TextTable::num(runs[2].result.best().triangle_ratio, 2));
+  benchutil::recap_line("SC2-CF2 triangle ratio", "0.94",
+                        TextTable::num(runs[3].result.best().triangle_ratio, 2));
+  for (const auto& run : runs) {
+    // Iteration (1-based) at which the final best cost is first reached.
+    const auto curve = run.result.best_cost_curve();
+    // "Converged" = first iteration within 5% (plus a small absolute
+    // slack) of the final best cost; the strict minimum often improves
+    // marginally late into the run on the noisy cost surface.
+    const double tol = 0.05 * std::abs(curve.back()) + 0.02;
+    std::size_t reach = curve.size();
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (curve[i] <= curve.back() + tol) {
+        reach = i + 1;
+        break;
+      }
+    }
+    benchutil::recap_line(run.name + " converged at iteration",
+                          "best 7 / avg 13 (of 20)", std::to_string(reach));
+  }
+  std::cout << "  Lowest best-cost scenario (paper: SC2-CF2, least "
+               "contention):\n";
+  const ScenarioRun* lowest = &runs[0];
+  for (const auto& run : runs) {
+    if (run.result.best().cost < lowest->result.best().cost) lowest = &run;
+  }
+  std::cout << "    measured: " << lowest->name << "\n";
+  return 0;
+}

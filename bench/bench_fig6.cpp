@@ -1,0 +1,90 @@
+// Reproduces Fig. 6 — the in-depth analysis of one HBO activation on
+// SC1-CF1 (Pixel 7), run for 20 iterations as in the paper:
+//  (a) Euclidean distance between consecutive BO configurations
+//      (exploration = large steps, exploitation = small steps);
+//  (b) cost of each evaluated sample and the best-cost iteration;
+//  (c) average quality and normalized latency per iteration (the paper's
+//      best point: Q = 0.87, eps = 0.69 at iteration 7);
+//  (d) per-task latency of HBO's best configuration vs SMQ under the same
+//      triangle ratio (paper: 103% best / 23.8% worst improvement for the
+//      NNAPI-resident tasks).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hbosim/baselines/smq.hpp"
+#include "hbosim/common/table.hpp"
+#include "hbosim/core/controller.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+using namespace hbosim;
+
+int main() {
+  benchutil::banner("Fig. 6", "detailed HBO analysis on SC1-CF1 (Pixel 7)");
+
+  const soc::DeviceProfile device = soc::pixel7();
+  auto app = scenario::make_app(device, scenario::ObjectSet::SC1,
+                                scenario::TaskSet::CF1);
+
+  core::HboConfig cfg;
+  cfg.n_iterations = 15;  // 5 random + 15 = 20 total, as in Fig. 6
+  core::HboController hbo(*app, cfg);
+  const core::ActivationResult result = hbo.run_activation();
+
+  // --- Fig. 6a/6b/6c --------------------------------------------------------
+  benchutil::section("Fig. 6a-c: per-iteration series");
+  const auto distances = result.consecutive_distances();
+  TextTable table(std::vector<std::string>{
+      "iter", "phase", "dist(z_t,z_t-1)", "cost", "best cost", "quality Q",
+      "latency eps", "ratio x"});
+  const auto best_curve = result.best_cost_curve();
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const core::IterationRecord& r = result.history[i];
+    table.add_row({std::to_string(i + 1),
+                   r.random_init ? "init" : "BO",
+                   i == 0 ? "-" : TextTable::num(distances[i - 1], 3),
+                   TextTable::num(r.cost, 3), TextTable::num(best_curve[i], 3),
+                   TextTable::num(r.quality, 3),
+                   TextTable::num(r.latency_ratio, 3),
+                   TextTable::num(r.triangle_ratio, 2)});
+  }
+  table.print(std::cout);
+
+  const core::IterationRecord& best = result.best();
+  benchutil::section("Best iteration");
+  std::cout << "  iteration " << best.index + 1 << " (paper: 7th of 20)\n";
+  benchutil::recap_line("quality at best", "0.87",
+                        TextTable::num(best.quality, 2));
+  benchutil::recap_line("normalized latency at best", "0.69",
+                        TextTable::num(best.latency_ratio, 2));
+
+  // --- Fig. 6d: per-task latency, HBO vs SMQ --------------------------------
+  benchutil::section("Fig. 6d: per-task latency (ms), HBO vs SMQ at same x");
+  const app::PeriodMetrics hbo_metrics = app->run_period(4.0);
+
+  auto smq_app = scenario::make_app(device, scenario::ObjectSet::SC1,
+                                    scenario::TaskSet::CF1);
+  const baselines::BaselineOutcome smq = baselines::run_smq(
+      *smq_app, best.object_ratios, best.triangle_ratio);
+
+  TextTable d(std::vector<std::string>{"task", "HBO (ms)", "SMQ (ms)",
+                                       "SMQ/HBO", "improvement"});
+  double best_impr = 0.0;
+  double worst_impr = 1e9;
+  for (const auto& [label, hbo_ms] : hbo_metrics.task_latency_ms) {
+    const double smq_ms = smq.metrics.task_latency_ms.at(label);
+    const double impr = 100.0 * (smq_ms - hbo_ms) / hbo_ms;
+    best_impr = std::max(best_impr, impr);
+    worst_impr = std::min(worst_impr, impr);
+    d.add_row({label, TextTable::num(hbo_ms, 1), TextTable::num(smq_ms, 1),
+               TextTable::num(smq_ms / hbo_ms, 2) + "x",
+               TextTable::num(impr, 1) + "%"});
+  }
+  d.print(std::cout);
+  benchutil::recap_line("best per-task improvement", "103% (mobnetC1)",
+                        TextTable::num(best_impr, 1) + "%");
+  benchutil::recap_line("worst per-task improvement", "23.8% (mobnetD1)",
+                        TextTable::num(worst_impr, 1) + "%");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 7 — HBO convergence robustness: six independent runs
+// (different random initializations) of the same activation for SC1-CF2
+// and SC2-CF2 on the Pixel 7. The paper's observation: individual runs may
+// end at different allocations/ratios, but all converge to a similar-cost
+// solution, i.e. the spread of final best costs is small relative to the
+// initial spread.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hbosim/common/mathx.hpp"
+#include "hbosim/common/table.hpp"
+#include "hbosim/core/controller.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+using namespace hbosim;
+
+namespace {
+
+void run_panel(const soc::DeviceProfile& device, scenario::ObjectSet objects,
+               scenario::TaskSet tasks) {
+  const std::string name = std::string(scenario::object_set_name(objects)) +
+                           "-" + scenario::task_set_name(tasks);
+  benchutil::section("Fig. 7 panel: " + name + " (6 runs)");
+
+  constexpr int kRuns = 6;
+  std::vector<core::ActivationResult> results;
+  for (int run = 0; run < kRuns; ++run) {
+    auto app = scenario::make_app(device, objects, tasks,
+                                  /*seed=*/0x5EEDu + run);
+    core::HboConfig cfg;
+    cfg.seed = 1000 + 77 * run;  // different BO initialization per run
+    core::HboController hbo(*app, cfg);
+    results.push_back(hbo.run_activation());
+  }
+
+  // Best-cost trajectories.
+  std::vector<std::string> header = {"iter"};
+  for (int run = 0; run < kRuns; ++run)
+    header.push_back("run" + std::to_string(run + 1));
+  TextTable table(header);
+  const std::size_t iters = results[0].history.size();
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::vector<std::string> row = {std::to_string(i + 1)};
+    for (const auto& r : results)
+      row.push_back(TextTable::num(r.best_cost_curve()[i], 3));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // Final configurations + convergence summary.
+  TextTable fin(std::vector<std::string>{"run", "final best cost",
+                                         "usage c", "ratio x"});
+  std::vector<double> first_costs;
+  std::vector<double> final_costs;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto& r = results[run];
+    first_costs.push_back(r.best_cost_curve().front());
+    final_costs.push_back(r.best_cost_curve().back());
+    std::string usage = "[";
+    for (std::size_t i = 0; i < r.best().usage.size(); ++i)
+      usage += (i ? ", " : "") + TextTable::num(r.best().usage[i], 2);
+    usage += "]";
+    fin.add_row({std::to_string(run + 1), TextTable::num(r.best().cost, 3),
+                 usage, TextTable::num(r.best().triangle_ratio, 2)});
+  }
+  fin.print(std::cout);
+
+  benchutil::recap_line(
+      "final best-cost spread vs initial spread (robustness)",
+      "final << initial",
+      TextTable::num(stdev(final_costs), 3) + " vs " +
+          TextTable::num(stdev(first_costs), 3));
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Fig. 7",
+                    "convergence robustness across 6 runs (Pixel 7)");
+  const soc::DeviceProfile device = soc::pixel7();
+  run_panel(device, scenario::ObjectSet::SC1, scenario::TaskSet::CF2);
+  run_panel(device, scenario::ObjectSet::SC2, scenario::TaskSet::CF2);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Model-validation harness (not a paper artefact): the deterministic cost
+// landscape HBO optimizes over, measured at fixed allocations across the
+// triangle-ratio axis on SC1-CF1 (Pixel 7), plus the fixed operating
+// points of the paper's baselines. This is the ground truth the
+// Bayesian optimizer's choices in Figs. 4-7 should be judged against:
+//
+//  - the landscape must have its minimum at a mid-range ratio (the paper
+//    converges to x in the 0.5-0.85 band across runs: Table III reports
+//    0.72, Fig. 7 runs end between 0.52 and 1.0);
+//  - at equal ratio, HBO's allocation must beat the static allocation;
+//  - full-quality rendering (x = 1) must be expensive for every strategy.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hbosim/baselines/static_alloc.hpp"
+#include "hbosim/common/table.hpp"
+#include "hbosim/core/controller.hpp"
+#include "hbosim/core/triangle_distribution.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+using namespace hbosim;
+using soc::Delegate;
+
+namespace {
+
+app::PeriodMetrics measure(const std::vector<Delegate>& alloc, double x) {
+  auto a = scenario::make_app(soc::pixel7(), scenario::ObjectSet::SC1,
+                              scenario::TaskSet::CF1);
+  a->start();
+  a->apply_allocation(alloc);
+  const auto objs = core::HboController::object_states(*a);
+  a->apply_object_ratios(core::distribute_waterfill(objs, x));
+  a->run_period(2.0);  // settle
+  return a->run_period(8.0);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Cost landscape",
+                    "deterministic ground truth under HBO's cost (SC1-CF1)");
+
+  const Delegate C = Delegate::Cpu;
+  const Delegate G = Delegate::Gpu;
+  const Delegate N = Delegate::Nnapi;
+  // Task order: mnist, mobnetD1, mmdata1, mmdata2, mobnetC1, efflite1.
+  const std::vector<Delegate> hbo_alloc = {C, N, C, C, N, N};   // Table IV HBO
+  const std::vector<Delegate> stat_alloc = {G, N, G, G, N, N};  // SMQ/SML
+  const std::vector<Delegate> alln_alloc = {N, N, N, N, N, N};
+
+  benchutil::section("HBO allocation across the ratio axis");
+  TextTable t(std::vector<std::string>{"x", "Q", "eps", "mean ms",
+                                       "cost (w=2.5)"});
+  double best_cost = 1e9;
+  double best_x = 0.0;
+  for (double x : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const app::PeriodMetrics m = measure(hbo_alloc, x);
+    const double cost = -(m.average_quality - 2.5 * m.latency_ratio);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_x = x;
+    }
+    t.add_row({TextTable::num(x, 1), TextTable::num(m.average_quality, 3),
+               TextTable::num(m.latency_ratio, 3),
+               TextTable::num(m.mean_task_latency_ms(), 1),
+               TextTable::num(cost, 3)});
+  }
+  t.print(std::cout);
+
+  benchutil::section("Baseline operating points");
+  TextTable b(std::vector<std::string>{"config", "x", "Q", "eps", "mean ms"});
+  auto row = [&](const char* name, const std::vector<Delegate>& alloc,
+                 double x) {
+    const app::PeriodMetrics m = measure(alloc, x);
+    b.add_row({name, TextTable::num(x, 2),
+               TextTable::num(m.average_quality, 3),
+               TextTable::num(m.latency_ratio, 3),
+               TextTable::num(m.mean_task_latency_ms(), 1)});
+  };
+  row("static (SMQ) @0.72", stat_alloc, 0.72);
+  row("static (SML) @0.20", stat_alloc, 0.20);
+  row("HBO alloc   @1.00", hbo_alloc, 1.0);
+  row("AllN        @1.00", alln_alloc, 1.0);
+  b.print(std::cout);
+
+  benchutil::section("Shape checks");
+  benchutil::recap_line("landscape minimum x", "0.5-0.85 band",
+                        TextTable::num(best_x, 2));
+  std::cout << "  At equal x the HBO allocation must dominate the static\n"
+               "  one, and x = 1 must be the most expensive point on the\n"
+               "  HBO-allocation curve.\n";
+  return 0;
+}

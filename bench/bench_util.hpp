@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+
+/// Shared pretty-printing for the reproduction harnesses. Each bench
+/// prints the paper artefact it regenerates, the measured series/rows,
+/// and a PAPER vs MEASURED recap so EXPERIMENTS.md can be cross-checked
+/// directly against bench output.
+
+namespace benchutil {
+
+inline void banner(const std::string& artefact, const std::string& what) {
+  std::cout << "\n================================================================\n"
+            << artefact << " — " << what << "\n"
+            << "================================================================\n";
+}
+
+inline void section(const std::string& name) {
+  std::cout << "\n--- " << name << " ---\n";
+}
+
+inline void recap_line(const std::string& metric, const std::string& paper,
+                       const std::string& measured) {
+  std::cout << "  " << metric << ": paper=" << paper
+            << "  measured=" << measured << "\n";
+}
+
+}  // namespace benchutil

@@ -1,0 +1,168 @@
+#include "hbosim/ai/engine.hpp"
+
+#include <cmath>
+
+#include "hbosim/ai/registry.hpp"
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::ai {
+
+InferenceEngine::InferenceEngine(des::Simulator& sim, soc::SocRuntime& soc,
+                                 EngineConfig cfg)
+    : sim_(sim), soc_(soc), cfg_(cfg), rng_(cfg.seed) {
+  HB_REQUIRE(cfg_.inference_gap_s >= 0.0, "inference gap must be >= 0");
+  HB_REQUIRE(cfg_.gap_jitter >= 0.0 && cfg_.gap_jitter <= 1.0,
+             "gap jitter must be in [0,1]");
+  HB_REQUIRE(cfg_.latency_noise >= 0.0, "latency noise must be >= 0");
+}
+
+double InferenceEngine::next_gap() {
+  if (cfg_.gap_jitter <= 0.0) return cfg_.inference_gap_s;
+  return cfg_.inference_gap_s *
+         rng_.uniform(1.0 - cfg_.gap_jitter, 1.0 + cfg_.gap_jitter);
+}
+
+TaskId InferenceEngine::add_task(const std::string& model,
+                                 const std::string& label,
+                                 soc::Delegate delegate) {
+  HB_REQUIRE(is_known_model(model), "unknown AI model: " + model);
+  HB_REQUIRE(soc_.profile().supports(model, delegate),
+             model + " cannot run on " + soc::delegate_name(delegate) +
+                 " on " + soc_.profile().name());
+  const TaskId id = next_task_id_++;
+  TaskState st;
+  st.task = AiTask{id, model, label, delegate};
+  tasks_.emplace(id, std::move(st));
+  if (started_) {
+    // Join the running system after one gap, as a freshly loaded model.
+    TaskState& s = state(id);
+    s.pending_event =
+        sim_.schedule_after(next_gap(), [this, id] { begin_inference(id); });
+  }
+  return id;
+}
+
+void InferenceEngine::remove_task(TaskId id) {
+  TaskState& st = state(id);
+  if (st.active_job != 0) soc_.unit(st.active_unit).cancel(st.active_job);
+  if (st.pending_event != 0) sim_.cancel(st.pending_event);
+  ++st.epoch;  // invalidate any callback already dispatched
+  tasks_.erase(id);
+}
+
+void InferenceEngine::set_delegate(TaskId id, soc::Delegate delegate) {
+  TaskState& st = state(id);
+  HB_REQUIRE(soc_.profile().supports(st.task.model, delegate),
+             st.task.model + " cannot run on " + soc::delegate_name(delegate));
+  st.task.delegate = delegate;  // picked up when the next plan is built
+}
+
+const AiTask& InferenceEngine::task(TaskId id) const { return state(id).task; }
+
+std::vector<TaskId> InferenceEngine::task_ids() const {
+  std::vector<TaskId> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, st] : tasks_) out.push_back(id);
+  return out;
+}
+
+void InferenceEngine::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [id, st] : tasks_) {
+    const TaskId task_id = id;
+    // Random initial phase: real tasks do not begin on the same camera
+    // frame, and a synchronized start would take tens of simulated
+    // seconds to decay into the steady-state interleaving.
+    const double offset = cfg_.inference_gap_s * rng_.uniform();
+    st.pending_event = sim_.schedule_after(
+        offset, [this, task_id] { begin_inference(task_id); });
+  }
+}
+
+void InferenceEngine::begin_inference(TaskId id) {
+  TaskState& st = state(id);
+  st.pending_event = 0;
+  st.plan = build_exec_plan(soc_.profile(), st.task.model, st.task.delegate);
+  st.phase_index = 0;
+  st.inference_start = sim_.now();
+  st.in_flight = true;
+  st.noise_factor = cfg_.latency_noise > 0.0
+                        ? std::exp(cfg_.latency_noise * rng_.normal())
+                        : 1.0;
+  run_next_phase(id);
+}
+
+void InferenceEngine::run_next_phase(TaskId id) {
+  TaskState& st = state(id);
+  if (st.phase_index >= st.plan.size()) {
+    finish_inference(id);
+    return;
+  }
+  const Phase& phase = st.plan[st.phase_index];
+  const std::uint64_t epoch = st.epoch;
+  if (phase.kind == Phase::Kind::Delay) {
+    // Dispatch/communication: a fixed wall delay, not contended.
+    st.pending_event = sim_.schedule_after(
+        phase.seconds, [this, id, epoch] { on_phase_done(id, epoch); });
+  } else {
+    const double demand = phase.seconds * st.noise_factor;
+    st.active_unit = phase.unit;
+    st.active_job = soc_.unit(phase.unit).submit(
+        demand, phase.cores, [this, id, epoch] { on_phase_done(id, epoch); });
+  }
+}
+
+void InferenceEngine::on_phase_done(TaskId id, std::uint64_t epoch) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second.epoch != epoch) return;  // stale
+  TaskState& st = it->second;
+  st.active_job = 0;
+  st.pending_event = 0;
+  ++st.phase_index;
+  run_next_phase(id);
+}
+
+void InferenceEngine::finish_inference(TaskId id) {
+  TaskState& st = state(id);
+  st.in_flight = false;
+  const double latency = sim_.now() - st.inference_start;
+  st.last_latency = latency;
+  st.window.add(latency);
+  if (observer_) observer_(st.task, latency);
+  // `st` may have been invalidated if the observer removed the task.
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.pending_event =
+      sim_.schedule_after(next_gap(), [this, id] { begin_inference(id); });
+}
+
+void InferenceEngine::reset_window() {
+  for (auto& [id, st] : tasks_) st.window.reset();
+}
+
+double InferenceEngine::window_mean_latency_s(TaskId id) const {
+  return state(id).window.mean();
+}
+
+std::size_t InferenceEngine::window_count(TaskId id) const {
+  return state(id).window.count();
+}
+
+double InferenceEngine::last_latency_s(TaskId id) const {
+  return state(id).last_latency;
+}
+
+InferenceEngine::TaskState& InferenceEngine::state(TaskId id) {
+  auto it = tasks_.find(id);
+  HB_REQUIRE(it != tasks_.end(), "unknown task id");
+  return it->second;
+}
+
+const InferenceEngine::TaskState& InferenceEngine::state(TaskId id) const {
+  auto it = tasks_.find(id);
+  HB_REQUIRE(it != tasks_.end(), "unknown task id");
+  return it->second;
+}
+
+}  // namespace hbosim::ai

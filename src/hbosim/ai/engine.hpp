@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "hbosim/ai/exec_plan.hpp"
+#include "hbosim/ai/task.hpp"
+#include "hbosim/common/rng.hpp"
+#include "hbosim/common/stats.hpp"
+#include "hbosim/des/simulator.hpp"
+#include "hbosim/soc/device.hpp"
+
+/// \file engine.hpp
+/// The on-device inference runtime. Each registered AiTask executes
+/// back-to-back inferences (with a small inter-inference gap, as a camera-
+/// frame-driven MAR pipeline would): every inference walks its delegate's
+/// ExecPlan phase by phase across the SoC's processor-sharing resources,
+/// so its measured latency emerges from whatever contention exists at that
+/// moment — exactly the phenomenon the paper's Section III-B measures.
+///
+/// Delegate changes take effect at the next inference (a real TFLite
+/// interpreter is rebuilt between inferences, not mid-run).
+
+namespace hbosim::ai {
+
+struct EngineConfig {
+  /// Pause between the end of one inference and the start of the next.
+  /// MAR AI pipelines are camera-frame driven; one 30 fps frame interval
+  /// keeps per-task duty cycles realistic instead of saturating every
+  /// accelerator with back-to-back inference.
+  double inference_gap_s = 0.035;
+  /// Uniform jitter applied to each gap (fraction of the gap). Camera
+  /// frames never arrive on a perfect clock; without jitter the task
+  /// loops phase-lock on the shared accelerators and produce artificial
+  /// latency beats.
+  double gap_jitter = 0.25;
+  /// Multiplicative log-normal noise applied to each inference's compute
+  /// demand (sigma of log factor); 0 disables noise.
+  double latency_noise = 0.03;
+  std::uint64_t seed = 0x5EEDu;
+};
+
+class InferenceEngine {
+ public:
+  /// Called after every completed inference with the task and its measured
+  /// end-to-end latency in seconds.
+  using LatencyObserver = std::function<void(const AiTask&, double)>;
+
+  InferenceEngine(des::Simulator& sim, soc::SocRuntime& soc,
+                  EngineConfig cfg = {});
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Register a task; the inference loop starts at the current sim time
+  /// (plus one gap) if the engine is running, or at start() otherwise.
+  TaskId add_task(const std::string& model, const std::string& label,
+                  soc::Delegate delegate);
+
+  /// Remove a task, cancelling any in-flight inference.
+  void remove_task(TaskId id);
+
+  /// Change a task's delegate; applies from its next inference. Throws if
+  /// the device does not support the (model, delegate) pair.
+  void set_delegate(TaskId id, soc::Delegate delegate);
+
+  const AiTask& task(TaskId id) const;
+  std::vector<TaskId> task_ids() const;
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Start all registered (and future) task loops.
+  void start();
+  bool started() const { return started_; }
+
+  void set_observer(LatencyObserver obs) { observer_ = std::move(obs); }
+
+  /// Measurement window: per-task latency statistics since the last reset.
+  void reset_window();
+  double window_mean_latency_s(TaskId id) const;
+  std::size_t window_count(TaskId id) const;
+  double last_latency_s(TaskId id) const;
+
+ private:
+  struct TaskState {
+    AiTask task;
+    ExecPlan plan;             // plan of the in-flight inference
+    std::size_t phase_index = 0;
+    SimTime inference_start = 0.0;
+    double noise_factor = 1.0;
+    bool in_flight = false;
+    JobId active_job = 0;      // compute phase in flight (0 = none)
+    soc::Unit active_unit = soc::Unit::Cpu;
+    des::EventId pending_event = 0;  // delay/gap event in flight (0 = none)
+    std::uint64_t epoch = 0;   // invalidates stale callbacks
+    RunningStat window;
+    double last_latency = 0.0;
+  };
+
+  double next_gap();
+  void begin_inference(TaskId id);
+  void run_next_phase(TaskId id);
+  void on_phase_done(TaskId id, std::uint64_t epoch);
+  void finish_inference(TaskId id);
+  TaskState& state(TaskId id);
+  const TaskState& state(TaskId id) const;
+
+  des::Simulator& sim_;
+  soc::SocRuntime& soc_;
+  EngineConfig cfg_;
+  Rng rng_;
+  LatencyObserver observer_;
+  std::map<TaskId, TaskState> tasks_;
+  TaskId next_task_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace hbosim::ai

@@ -1,0 +1,51 @@
+#include "hbosim/ai/exec_plan.hpp"
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/types.hpp"
+
+namespace hbosim::ai {
+
+ExecPlan build_exec_plan(const soc::DeviceProfile& device,
+                         const std::string& model, soc::Delegate delegate) {
+  HB_REQUIRE(device.supports(model, delegate),
+             model + " does not support delegate " +
+                 soc::delegate_name(delegate) + " on " + device.name());
+  const soc::ModelLatency& lat = device.model(model);
+  ExecPlan plan;
+
+  switch (delegate) {
+    case soc::Delegate::Cpu: {
+      plan.push_back({Phase::Kind::Compute, soc::Unit::Cpu, ms(lat.cpu_ms),
+                      lat.cpu_threads});
+      break;
+    }
+    case soc::Delegate::Gpu: {
+      const double comm = device.comm_ms(soc::Delegate::Gpu);
+      plan.push_back({Phase::Kind::Delay, soc::Unit::Cpu, ms(comm)});
+      plan.push_back(
+          {Phase::Kind::Compute, soc::Unit::Gpu, ms(*lat.gpu_ms - comm)});
+      break;
+    }
+    case soc::Delegate::Nnapi: {
+      const double comm = device.comm_ms(soc::Delegate::Nnapi);
+      const double work_ms = *lat.nnapi_ms - comm;
+      const double npu_ms = work_ms * lat.npu_fraction;
+      const double gpu_ms = work_ms - npu_ms;
+      plan.push_back({Phase::Kind::Delay, soc::Unit::Cpu, ms(comm)});
+      if (npu_ms > 0.0)
+        plan.push_back({Phase::Kind::Compute, soc::Unit::Npu, ms(npu_ms)});
+      if (gpu_ms > 0.0)
+        plan.push_back({Phase::Kind::Compute, soc::Unit::Gpu, ms(gpu_ms)});
+      break;
+    }
+  }
+  return plan;
+}
+
+double plan_isolation_seconds(const ExecPlan& plan) {
+  double total = 0.0;
+  for (const Phase& p : plan) total += p.seconds;
+  return total;
+}
+
+}  // namespace hbosim::ai

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "hbosim/soc/device.hpp"
+
+/// \file exec_plan.hpp
+/// Translates (model, delegate, device) into the sequence of execution
+/// phases an inference passes through. This encodes the paper's coarse-
+/// grained allocation semantics:
+///
+///  - CPU inference: a single CPU phase (one core max).
+///  - GPU delegate: a fixed dispatch delay, then all ops as one GPU phase.
+///  - NNAPI delegate: a fixed dispatch delay, then operators split between
+///    the NPU (npu_fraction) and the GPU (the remainder — operators the
+///    NPU/TPU cannot run fall back to the GPU, paper footnote 2).
+///
+/// Phase demands are derived so that, in isolation (no contention, no
+/// render load), total latency equals the device's Table I value.
+
+namespace hbosim::ai {
+
+struct Phase {
+  enum class Kind { Delay, Compute };
+  Kind kind = Kind::Compute;
+  soc::Unit unit = soc::Unit::Cpu;  ///< Only meaningful for Compute.
+  double seconds = 0.0;             ///< Demand (Compute) or duration (Delay).
+  double cores = 1.0;               ///< Capacity units held while computing.
+};
+
+using ExecPlan = std::vector<Phase>;
+
+/// Build the phase list for one inference. Throws if the device does not
+/// support (model, delegate).
+ExecPlan build_exec_plan(const soc::DeviceProfile& device,
+                         const std::string& model, soc::Delegate delegate);
+
+/// Sum of all phase durations — the isolation latency (seconds).
+double plan_isolation_seconds(const ExecPlan& plan);
+
+}  // namespace hbosim::ai

@@ -1,0 +1,27 @@
+#include "hbosim/ai/model.hpp"
+
+namespace hbosim::ai {
+
+const char* task_type_name(TaskType t) {
+  switch (t) {
+    case TaskType::ImageSegmentation: return "Image Segmentation";
+    case TaskType::ObjectDetection: return "Object Detection";
+    case TaskType::ImageClassification: return "Image Classification";
+    case TaskType::GestureDetection: return "Gesture Detection";
+    case TaskType::DigitClassification: return "Digit Classifier";
+  }
+  return "?";
+}
+
+const char* task_type_abbrev(TaskType t) {
+  switch (t) {
+    case TaskType::ImageSegmentation: return "IS";
+    case TaskType::ObjectDetection: return "OD";
+    case TaskType::ImageClassification: return "IC";
+    case TaskType::GestureDetection: return "GD";
+    case TaskType::DigitClassification: return "DC";
+  }
+  return "?";
+}
+
+}  // namespace hbosim::ai

@@ -1,0 +1,36 @@
+#include "hbosim/ai/registry.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::ai {
+
+const std::vector<ModelInfo>& model_registry() {
+  static const std::vector<ModelInfo> registry = {
+      {"deconv-munet", TaskType::ImageSegmentation},
+      {"deeplabv3", TaskType::ImageSegmentation},
+      {"efficientdet-lite", TaskType::ObjectDetection},
+      {"mobilenetDetv1", TaskType::ObjectDetection},
+      {"efficientclass-lite0", TaskType::ImageClassification},
+      {"inception-v1-q", TaskType::ImageClassification},
+      {"mobilenet-v1", TaskType::ImageClassification},
+      {"model-metadata", TaskType::GestureDetection},
+      {"mnist", TaskType::DigitClassification},
+  };
+  return registry;
+}
+
+const ModelInfo& find_model(const std::string& name) {
+  for (const auto& m : model_registry()) {
+    if (m.name == name) return m;
+  }
+  throw Error("unknown AI model: " + name);
+}
+
+bool is_known_model(const std::string& name) {
+  for (const auto& m : model_registry()) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace hbosim::ai

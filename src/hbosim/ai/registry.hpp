@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "hbosim/ai/model.hpp"
+
+/// \file registry.hpp
+/// The catalogue of AI models used in the paper (Tables I and II). Models
+/// are identified by name; devices attach latency profiles per name.
+
+namespace hbosim::ai {
+
+/// All models the paper evaluates, in Table I order plus `mnist`.
+const std::vector<ModelInfo>& model_registry();
+
+/// Look up a model's metadata; throws hbosim::Error for unknown names.
+const ModelInfo& find_model(const std::string& name);
+
+/// True if the registry knows this model name.
+bool is_known_model(const std::string& name);
+
+}  // namespace hbosim::ai

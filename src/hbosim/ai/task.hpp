@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "hbosim/common/types.hpp"
+#include "hbosim/soc/resource.hpp"
+
+/// \file task.hpp
+/// An AI task is one *instance* of a model executing repeated inferences in
+/// the background of the MAR app (the paper runs e.g. five instances of
+/// deeplabv3 simultaneously, labelled deeplabv3_1..5).
+
+namespace hbosim::ai {
+
+struct AiTask {
+  TaskId id = 0;
+  std::string model;  ///< Registry/model-profile key.
+  std::string label;  ///< Display label, e.g. "deeplabv3_1".
+  soc::Delegate delegate = soc::Delegate::Cpu;
+};
+
+}  // namespace hbosim::ai

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbosim/ai/engine.hpp"
+#include "hbosim/ai/profiler.hpp"
+#include "hbosim/app/metrics.hpp"
+#include "hbosim/des/simulator.hpp"
+#include "hbosim/edge/decimation_service.hpp"
+#include "hbosim/render/render_load.hpp"
+#include "hbosim/render/scene.hpp"
+#include "hbosim/soc/device.hpp"
+
+/// \file mar_app.hpp
+/// The example MAR application of Section V-A: one object composing the
+/// whole simulated stack — SoC runtime, augmented scene with render-load
+/// coupling, background AI taskset, and the edge decimation service — and
+/// exposing exactly the control surface HBO (and the baselines) need:
+/// apply an allocation, apply per-object triangle ratios, measure a control
+/// period.
+
+namespace hbosim::app {
+
+struct MarAppConfig {
+  ai::EngineConfig engine;
+  edge::DecimationServiceConfig decimation;
+  render::CullingModel culling;
+  /// Length of one measurement/control period (the paper samples reward
+  /// every 2 seconds).
+  double control_period_s = 2.0;
+  /// Repetitions used by the isolation profiler.
+  int profile_reps = 3;
+};
+
+class MarApp {
+ public:
+  /// The device profile is copied: a MarApp owns its device description,
+  /// so callers may pass temporaries (e.g. `MarApp app(soc::pixel7())`).
+  MarApp(const soc::DeviceProfile& device, MarAppConfig cfg = {});
+
+  MarApp(const MarApp&) = delete;
+  MarApp& operator=(const MarApp&) = delete;
+
+  // --- composition access -------------------------------------------------
+  des::Simulator& sim() { return sim_; }
+  const soc::DeviceProfile& device() const { return device_; }
+  soc::SocRuntime& soc() { return soc_; }
+  render::Scene& scene() { return scene_; }
+  ai::InferenceEngine& engine() { return engine_; }
+  edge::DecimationService& decimation() { return decimation_; }
+  const MarAppConfig& config() const { return cfg_; }
+
+  // --- scene management ----------------------------------------------------
+  /// Place an object at full quality; returns its id.
+  ObjectId add_object(std::shared_ptr<const render::MeshAsset> asset,
+                      double distance_m);
+  void set_user_distance_scale(double scale);
+
+  // --- taskset management --------------------------------------------------
+  /// Add a background AI task starting on `delegate` (defaults to the
+  /// statically best one). Labels must be unique.
+  TaskId add_task(const std::string& model, const std::string& label,
+                  std::optional<soc::Delegate> delegate = std::nullopt);
+
+  /// Ordered task ids / model names, in creation order (HBO's task list).
+  std::vector<TaskId> tasks() const { return task_order_; }
+  std::vector<std::string> task_models() const;
+  std::vector<std::string> task_labels() const;
+  std::vector<soc::Delegate> current_allocation() const;
+
+  /// Begin executing inference loops (idempotent).
+  void start();
+
+  // --- control surface (HBO / baselines) -----------------------------------
+  /// Apply a per-task delegate assignment (ordered like tasks()).
+  void apply_allocation(const std::vector<soc::Delegate>& delegates);
+
+  /// Apply per-object decimation ratios (ordered like scene().object_ids()).
+  /// Each version is requested from the decimation service; cache misses
+  /// charge their download delay before the redraw takes effect.
+  void apply_object_ratios(const std::vector<double>& ratios);
+
+  /// Convenience: one ratio for every object.
+  void apply_uniform_ratio(double ratio);
+
+  /// Advance the simulation by `seconds` (default: one control period)
+  /// while measuring, and return the period's metrics.
+  PeriodMetrics run_period(double seconds = -1.0);
+
+  /// Isolation profiles (tau^e and the Table-I-style matrix) for the
+  /// current taskset. Computed lazily, cached per model.
+  const ai::ProfileTable& profiles();
+
+  /// Expected latency tau^e (ms) for a task.
+  double expected_ms(TaskId id);
+
+  /// Instantaneous metrics snapshot without advancing time (uses the
+  /// current measurement window; useful for activation monitoring).
+  PeriodMetrics snapshot();
+
+ private:
+  void ensure_profiles();
+
+  MarAppConfig cfg_;
+  const soc::DeviceProfile device_;  // owned copy; SocRuntime refers to it
+  des::Simulator sim_;
+  soc::SocRuntime soc_;
+  render::Scene scene_;
+  render::RenderLoadBinder render_binder_;
+  ai::InferenceEngine engine_;
+  edge::DecimationService decimation_;
+  std::vector<TaskId> task_order_;
+  std::unique_ptr<ai::ProfileTable> profiles_;
+};
+
+}  // namespace hbosim::app

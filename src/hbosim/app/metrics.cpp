@@ -1,0 +1,12 @@
+#include "hbosim/app/metrics.hpp"
+
+namespace hbosim::app {
+
+double PeriodMetrics::mean_task_latency_ms() const {
+  if (task_latency_ms.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [label, ms] : task_latency_ms) acc += ms;
+  return acc / static_cast<double>(task_latency_ms.size());
+}
+
+}  // namespace hbosim::app

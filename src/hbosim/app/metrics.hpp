@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hbosim/common/types.hpp"
+
+/// \file metrics.hpp
+/// Per-control-period measurements the evaluation components consume
+/// (Fig. 3's "AI Latency Monitor" + "Quality Estimator" outputs).
+
+namespace hbosim::app {
+
+/// Everything measured over one control period.
+struct PeriodMetrics {
+  SimTime period_start = 0.0;
+  SimTime period_end = 0.0;
+
+  /// Average virtual-object quality Q_t (Eq. 2) at period end.
+  double average_quality = 1.0;
+
+  /// Average normalized AI latency epsilon_t (Eq. 4).
+  double latency_ratio = 0.0;
+
+  /// Mean measured latency (ms) per task label.
+  std::map<std::string, double> task_latency_ms;
+
+  /// Isolation expectation tau^e (ms) per task label.
+  std::map<std::string, double> task_expected_ms;
+
+  /// Inference completions observed in the window (across all tasks).
+  std::size_t inference_count = 0;
+
+  /// Total triangle ratio on screen when measured.
+  double triangle_ratio = 1.0;
+
+  /// Reward of Eq. 3 for a given latency/quality weight.
+  double reward(double w) const { return average_quality - w * latency_ratio; }
+
+  /// Mean measured latency across tasks (ms), for figure dumps.
+  double mean_task_latency_ms() const;
+};
+
+}  // namespace hbosim::app

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hbosim/app/mar_app.hpp"
+#include "hbosim/des/trace.hpp"
+
+/// \file script.hpp
+/// Scripted experiment timelines. The paper's motivation study (Fig. 2)
+/// and activation study (Fig. 8) are sequences of timed interventions —
+/// "at t=25s move deeplabv3_1 to NNAPI", "at t=150s add two objects" —
+/// while task latencies are recorded continuously. ScriptRunner replays
+/// such a timeline on a MarApp and captures every inference completion
+/// into a TraceRecorder (one series per task label), with the annotations
+/// the paper prints along the time axis.
+
+namespace hbosim::app {
+
+class ScriptRunner {
+ public:
+  using Action = std::function<void(MarApp&)>;
+
+  ScriptRunner(MarApp& app, des::TraceRecorder& trace);
+  ~ScriptRunner();
+
+  ScriptRunner(const ScriptRunner&) = delete;
+  ScriptRunner& operator=(const ScriptRunner&) = delete;
+
+  /// Schedule `action` at absolute sim time `at` with a marker label
+  /// (e.g. "N1" for "instance 1 -> NNAPI"). Must be in the future.
+  void at(SimTime when, const std::string& annotation, Action action);
+
+  /// Convenience wrappers producing the paper's annotation style.
+  void reallocate_at(SimTime when, TaskId task, soc::Delegate d,
+                     int instance_number);
+  void add_object_at(SimTime when,
+                     std::shared_ptr<const render::MeshAsset> asset,
+                     double distance_m);
+  void set_distance_scale_at(SimTime when, double scale);
+
+  /// Start the app (if needed) and run the simulation to `end`, recording
+  /// every inference latency (milliseconds) into the trace.
+  void run_until(SimTime end);
+
+ private:
+  MarApp& app_;
+  des::TraceRecorder& trace_;
+};
+
+}  // namespace hbosim::app

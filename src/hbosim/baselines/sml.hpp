@@ -1,0 +1,26 @@
+#pragma once
+
+#include "hbosim/baselines/baseline.hpp"
+
+/// \file sml.hpp
+/// Static Match Latency (SML): static best-in-isolation allocation, with
+/// the total triangle count "gradually reduced until the average latency
+/// is similar to that of HBO" (Section V-A). Quantifies how much quality
+/// a static allocator must burn to buy HBO's latency.
+
+namespace hbosim::baselines {
+
+struct SmlConfig {
+  double target_latency_ratio = 0.0;  ///< HBO's epsilon to match.
+  double step = 0.05;                 ///< Ratio decrement per probe.
+  /// Do not reduce x below this — the system-wide R_min of Constraint 10
+  /// applies to every strategy (the paper's SML bottoms out at 0.2 in the
+  /// user study).
+  double floor = 0.2;
+  double probe_s = 2.0;               ///< Measurement window per probe.
+  double settle_s = 4.0;              ///< Final measurement window.
+};
+
+BaselineOutcome run_sml(app::MarApp& app, const SmlConfig& cfg);
+
+}  // namespace hbosim::baselines

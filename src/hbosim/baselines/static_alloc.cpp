@@ -1,0 +1,13 @@
+#include "hbosim/baselines/static_alloc.hpp"
+
+namespace hbosim::baselines {
+
+std::vector<soc::Delegate> static_best_allocation(app::MarApp& app) {
+  const ai::ProfileTable& profiles = app.profiles();
+  std::vector<soc::Delegate> out;
+  for (const std::string& model : app.task_models())
+    out.push_back(profiles.get(model).best);
+  return out;
+}
+
+}  // namespace hbosim::baselines

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "hbosim/app/mar_app.hpp"
+
+/// \file static_alloc.hpp
+/// The static allocation policy shared by SMQ and SML (Section V-A): each
+/// AI task is pinned to the delegate with the lowest latency in isolation
+/// (the Table I winner), ignoring contention and render load.
+
+namespace hbosim::baselines {
+
+/// Per-task statically best delegate, ordered like app.tasks().
+std::vector<soc::Delegate> static_best_allocation(app::MarApp& app);
+
+}  // namespace hbosim::baselines

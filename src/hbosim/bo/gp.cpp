@@ -1,0 +1,80 @@
+#include "hbosim/bo/gp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/mathx.hpp"
+
+namespace hbosim::bo {
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel, GpConfig cfg)
+    : kernel_(std::move(kernel)), cfg_(cfg) {
+  HB_REQUIRE(kernel_ != nullptr, "GaussianProcess requires a kernel");
+  HB_REQUIRE(cfg_.noise_variance >= 0.0, "noise variance must be >= 0");
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  HB_REQUIRE(!x.empty(), "GP fit requires at least one observation");
+  HB_REQUIRE(x.size() == y.size(), "GP fit: X/y size mismatch");
+  const std::size_t dim = x.front().size();
+  for (const auto& row : x)
+    HB_REQUIRE(row.size() == dim, "GP fit: inconsistent input dimension");
+
+  x_ = x;
+  y_mean_ = mean(y);
+  y_centered_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_centered_[i] = y[i] - y_mean_;
+
+  const std::size_t n = x_.size();
+  Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double k = (*kernel_)(x_[i], x_[j]);
+      gram(i, j) = k;
+      gram(j, i) = k;
+    }
+    gram(i, i) += cfg_.noise_variance;
+  }
+  chol_ = std::make_unique<Cholesky>(gram, cfg_.jitter);
+  alpha_ = chol_->solve(y_centered_);
+}
+
+std::vector<double> GaussianProcess::kernel_row(
+    std::span<const double> z) const {
+  std::vector<double> k(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) k[i] = (*kernel_)(z, x_[i]);
+  return k;
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(
+    std::span<const double> z) const {
+  HB_REQUIRE(fitted(), "GP predict before fit");
+  HB_REQUIRE(z.size() == x_.front().size(), "GP predict: dimension mismatch");
+  const std::vector<double> k_star = kernel_row(z);
+
+  Prediction out;
+  out.mean = y_mean_;
+  for (std::size_t i = 0; i < k_star.size(); ++i)
+    out.mean += k_star[i] * alpha_[i];
+
+  // var = k(z,z) - || L^-1 k* ||^2, clamped at 0 for numerical safety.
+  const std::vector<double> v = chol_->solve_lower(k_star);
+  double reduction = 0.0;
+  for (double vi : v) reduction += vi * vi;
+  out.variance = std::max((*kernel_)(z, z) - reduction, 0.0);
+  return out;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  HB_REQUIRE(fitted(), "GP log-likelihood before fit");
+  const auto n = static_cast<double>(x_.size());
+  double data_fit = 0.0;
+  for (std::size_t i = 0; i < y_centered_.size(); ++i)
+    data_fit += y_centered_[i] * alpha_[i];
+  return -0.5 * data_fit - 0.5 * chol_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+}  // namespace hbosim::bo

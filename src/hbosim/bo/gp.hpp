@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hbosim/bo/kernel.hpp"
+#include "hbosim/common/matrix.hpp"
+
+/// \file gp.hpp
+/// Gaussian-process regression surrogate (the paper's Eq. 6): given the BO
+/// database D_t = {(z_tau, phi_tau)}, the posterior over the black-box cost
+/// at any configuration z is Gaussian with mean mu_t(z) and variance
+/// sigma_t^2(z), computed here by Cholesky factorization of the kernel
+/// Gram matrix. Observations are centered on their mean internally.
+
+namespace hbosim::bo {
+
+struct GpConfig {
+  /// Observation noise variance added to the Gram diagonal. The cost the
+  /// MAR app measures over a control period is genuinely noisy, so this
+  /// stays well above jitter level.
+  double noise_variance = 1e-4;
+  /// Numerical jitter added on top of the noise for factorization safety.
+  double jitter = 1e-10;
+};
+
+class GaussianProcess {
+ public:
+  GaussianProcess(std::unique_ptr<Kernel> kernel, GpConfig cfg = {});
+
+  /// Fit to observations. X: n points of equal dimension; y: n values.
+  /// Replaces any previous fit. Throws on shape mismatches or n == 0.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  bool fitted() const { return !x_.empty(); }
+  std::size_t observation_count() const { return x_.size(); }
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;  ///< Latent-function variance (>= 0).
+  };
+
+  /// Posterior at a query point (Eq. 6). Requires fitted().
+  Prediction predict(std::span<const double> z) const;
+
+  /// Log marginal likelihood of the fitted data (model-quality check used
+  /// in tests): -1/2 y^T K^-1 y - 1/2 log|K| - n/2 log(2 pi).
+  double log_marginal_likelihood() const;
+
+ private:
+  std::vector<double> kernel_row(std::span<const double> z) const;
+
+  std::unique_ptr<Kernel> kernel_;
+  GpConfig cfg_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_centered_;
+  double y_mean_ = 0.0;
+  std::unique_ptr<Cholesky> chol_;
+  std::vector<double> alpha_;  // K^-1 (y - mean)
+};
+
+}  // namespace hbosim::bo

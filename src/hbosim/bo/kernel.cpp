@@ -1,0 +1,66 @@
+#include "hbosim/bo/kernel.hpp"
+
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/mathx.hpp"
+
+namespace hbosim::bo {
+
+Matern52::Matern52(double length_scale, double sigma_f)
+    : length_(length_scale), sigma_f2_(sigma_f * sigma_f) {
+  HB_REQUIRE(length_ > 0.0, "length scale must be positive");
+  HB_REQUIRE(sigma_f > 0.0, "signal stddev must be positive");
+}
+
+double Matern52::operator()(std::span<const double> a,
+                            std::span<const double> b) const {
+  const double r = euclidean_distance(a, b);
+  const double s = std::sqrt(5.0) * r / length_;
+  return sigma_f2_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+double Matern52::prior_variance() const { return sigma_f2_; }
+
+std::unique_ptr<Kernel> Matern52::clone() const {
+  return std::make_unique<Matern52>(*this);
+}
+
+Rbf::Rbf(double length_scale, double sigma_f)
+    : length_(length_scale), sigma_f2_(sigma_f * sigma_f) {
+  HB_REQUIRE(length_ > 0.0, "length scale must be positive");
+  HB_REQUIRE(sigma_f > 0.0, "signal stddev must be positive");
+}
+
+double Rbf::operator()(std::span<const double> a,
+                       std::span<const double> b) const {
+  const double r = euclidean_distance(a, b);
+  return sigma_f2_ * std::exp(-r * r / (2.0 * length_ * length_));
+}
+
+double Rbf::prior_variance() const { return sigma_f2_; }
+
+std::unique_ptr<Kernel> Rbf::clone() const {
+  return std::make_unique<Rbf>(*this);
+}
+
+Matern32::Matern32(double length_scale, double sigma_f)
+    : length_(length_scale), sigma_f2_(sigma_f * sigma_f) {
+  HB_REQUIRE(length_ > 0.0, "length scale must be positive");
+  HB_REQUIRE(sigma_f > 0.0, "signal stddev must be positive");
+}
+
+double Matern32::operator()(std::span<const double> a,
+                            std::span<const double> b) const {
+  const double r = euclidean_distance(a, b);
+  const double s = std::sqrt(3.0) * r / length_;
+  return sigma_f2_ * (1.0 + s) * std::exp(-s);
+}
+
+double Matern32::prior_variance() const { return sigma_f2_; }
+
+std::unique_ptr<Kernel> Matern32::clone() const {
+  return std::make_unique<Matern32>(*this);
+}
+
+}  // namespace hbosim::bo

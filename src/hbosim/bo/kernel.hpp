@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+/// \file kernel.hpp
+/// Covariance kernels for the Gaussian-process surrogate. The paper uses
+/// Matérn with nu = 5/2 and length scale l = 1 (its Eq. 7); an RBF kernel
+/// is provided for the ablation bench.
+
+namespace hbosim::bo {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance k(a, b); a and b must share the space's dimension.
+  virtual double operator()(std::span<const double> a,
+                            std::span<const double> b) const = 0;
+
+  /// Prior variance k(x, x).
+  virtual double prior_variance() const = 0;
+
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+};
+
+/// Matérn nu=5/2 (Eq. 7):
+///   k(r) = sigma_f^2 * (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) * exp(-sqrt(5) r / l).
+class Matern52 final : public Kernel {
+ public:
+  explicit Matern52(double length_scale = 1.0, double sigma_f = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double prior_variance() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  double length_scale() const { return length_; }
+
+ private:
+  double length_;
+  double sigma_f2_;
+};
+
+/// Squared-exponential kernel: k(r) = sigma_f^2 exp(-r^2 / (2 l^2)).
+class Rbf final : public Kernel {
+ public:
+  explicit Rbf(double length_scale = 1.0, double sigma_f = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double prior_variance() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  double length_;
+  double sigma_f2_;
+};
+
+/// Matérn nu=3/2: k(r) = sigma_f^2 (1 + sqrt(3) r / l) exp(-sqrt(3) r / l).
+/// For the kernel-smoothness ablation (smaller nu = rougher prior).
+class Matern32 final : public Kernel {
+ public:
+  explicit Matern32(double length_scale = 1.0, double sigma_f = 1.0);
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override;
+  double prior_variance() const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+ private:
+  double length_;
+  double sigma_f2_;
+};
+
+}  // namespace hbosim::bo

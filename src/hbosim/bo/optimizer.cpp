@@ -1,0 +1,128 @@
+#include "hbosim/bo/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/mathx.hpp"
+
+namespace hbosim::bo {
+
+BayesianOptimizer::BayesianOptimizer(SimplexBoxSpace space, BoConfig cfg)
+    : space_(std::move(space)), cfg_(cfg) {
+  HB_REQUIRE(cfg_.n_initial >= 1, "need at least one initial sample");
+  HB_REQUIRE(cfg_.n_random_candidates + cfg_.n_local_candidates > 0,
+             "need at least one acquisition candidate");
+}
+
+const char* kernel_kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::Matern52: return "Matern52";
+    case KernelKind::Matern32: return "Matern32";
+    case KernelKind::Rbf: return "RBF";
+  }
+  return "?";
+}
+
+std::unique_ptr<Kernel> BayesianOptimizer::make_kernel(
+    double length_scale) const {
+  if (kernel_override_) return kernel_override_->clone();
+  switch (cfg_.kernel) {
+    case KernelKind::Matern32:
+      return std::make_unique<Matern32>(length_scale, cfg_.sigma_f);
+    case KernelKind::Rbf:
+      return std::make_unique<Rbf>(length_scale, cfg_.sigma_f);
+    case KernelKind::Matern52:
+      break;
+  }
+  return std::make_unique<Matern52>(length_scale, cfg_.sigma_f);
+}
+
+void BayesianOptimizer::set_kernel(std::unique_ptr<Kernel> kernel) {
+  kernel_override_ = std::move(kernel);
+}
+
+std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
+  if (in_initialization()) return space_.sample(rng);
+
+  // Standardize the observed costs so the surrogate's fixed prior variance
+  // stays commensurate with the data.
+  std::vector<double> y;
+  y.reserve(data_.size());
+  for (const auto& obs : data_) y.push_back(obs.cost);
+  double scale = 1.0;
+  if (cfg_.standardize) {
+    const double sd = stdev(y);
+    if (sd > 1e-12) scale = sd;
+    const double m = mean(y);
+    for (auto& v : y) v = (v - m) / scale;
+  }
+
+  std::vector<std::vector<double>> x;
+  x.reserve(data_.size());
+  for (const auto& obs : data_) x.push_back(obs.z);
+
+  // Hyperparameter refit (see BoConfig::length_scale_grid): keep the
+  // length scale that explains the standardized costs best.
+  std::vector<double> grid = cfg_.length_scale_grid;
+  if (grid.empty() || kernel_override_) grid = {1.0};
+  std::unique_ptr<GaussianProcess> best_gp;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  for (double factor : grid) {
+    auto gp_candidate = std::make_unique<GaussianProcess>(
+        make_kernel(cfg_.length_scale * factor), cfg_.gp);
+    gp_candidate->fit(x, y);
+    const double lml = gp_candidate->log_marginal_likelihood();
+    if (lml > best_lml) {
+      best_lml = lml;
+      best_gp = std::move(gp_candidate);
+    }
+  }
+  GaussianProcess& gp = *best_gp;
+
+  const double best_y = *std::min_element(y.begin(), y.end());
+  const std::vector<double>& incumbent = best().z;
+
+  std::vector<double> best_candidate;
+  double best_score = -std::numeric_limits<double>::infinity();
+  auto consider = [&](std::vector<double> z) {
+    const auto pred = gp.predict(z);
+    const double score =
+        acquisition_score(cfg_.acquisition, pred.mean,
+                          std::sqrt(pred.variance), best_y, cfg_.acq_params);
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(z);
+    }
+  };
+
+  for (int i = 0; i < cfg_.n_random_candidates; ++i)
+    consider(space_.sample(rng));
+  for (int i = 0; i < cfg_.n_local_candidates; ++i) {
+    const double scale =
+        (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
+    consider(space_.perturb(incumbent, scale, rng));
+  }
+
+  HB_ASSERT(!best_candidate.empty(), "no acquisition candidate evaluated");
+  return best_candidate;
+}
+
+void BayesianOptimizer::tell(std::vector<double> z, double cost) {
+  HB_REQUIRE(space_.contains(z, 1e-6),
+             "tell(): configuration violates Constraints 8-10");
+  HB_REQUIRE(std::isfinite(cost), "tell(): cost must be finite");
+  data_.push_back(Observation{std::move(z), cost});
+}
+
+const Observation& BayesianOptimizer::best() const {
+  HB_REQUIRE(!data_.empty(), "best() with no observations");
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < data_.size(); ++i) {
+    if (data_[i].cost < data_[best_idx].cost) best_idx = i;
+  }
+  return data_[best_idx];
+}
+
+}  // namespace hbosim::bo

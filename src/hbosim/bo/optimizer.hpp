@@ -1,0 +1,101 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "hbosim/bo/acquisition.hpp"
+#include "hbosim/bo/gp.hpp"
+#include "hbosim/bo/space.hpp"
+
+/// \file optimizer.hpp
+/// The sequential Bayesian optimizer (the paper's BO(D) in Algorithm 1,
+/// line 1): maintains the database D of (z, phi) observations, fits the GP
+/// surrogate, and proposes the next configuration by maximizing the
+/// acquisition function over a candidate set (random simplex samples plus
+/// local perturbations of the incumbent — the standard derivative-free
+/// approach on a constrained domain, which is also how skopt's categorical/
+/// constrained spaces are handled).
+
+namespace hbosim::bo {
+
+struct Observation {
+  std::vector<double> z;
+  double cost = 0.0;
+};
+
+/// Kernel families available to the optimizer (the paper uses Matern-5/2;
+/// the others exist for the smoothness ablation).
+enum class KernelKind { Matern52, Matern32, Rbf };
+
+const char* kernel_kind_name(KernelKind k);
+
+struct BoConfig {
+  /// Random configurations before the surrogate takes over (paper: 5).
+  int n_initial = 5;
+  /// Acquisition candidates: uniform samples over the space...
+  int n_random_candidates = 384;
+  /// ...plus perturbations around the best observation so far, at two
+  /// scales (fine refinement and coarser escapes).
+  int n_local_candidates = 192;
+  double local_scale = 0.06;
+  double local_scale_coarse = 0.18;
+
+  AcquisitionKind acquisition = AcquisitionKind::ExpectedImprovement;
+  AcquisitionParams acq_params;
+
+  /// Kernel family and parameters (paper: Matern-5/2, l = 1). Like
+  /// skopt's gp_minimize, the length scale is refit at every suggest()
+  /// by maximizing the log marginal likelihood over `length_scale`
+  /// times the candidates in `length_scale_grid`; a fixed scale (grid =
+  /// {1.0}) oversmooths the simplex (diameter ~1.4) and starves
+  /// exploration of unvisited corners.
+  KernelKind kernel = KernelKind::Matern52;
+  double length_scale = 1.0;
+  std::vector<double> length_scale_grid = {0.3, 0.6, 1.0};
+  double sigma_f = 1.0;
+
+  GpConfig gp;
+
+  /// Standardize costs (zero mean, unit variance) before fitting; keeps
+  /// the fixed sigma_f meaningful across scenarios.
+  bool standardize = true;
+};
+
+class BayesianOptimizer {
+ public:
+  BayesianOptimizer(SimplexBoxSpace space, BoConfig cfg = {});
+
+  const SimplexBoxSpace& space() const { return space_; }
+  const BoConfig& config() const { return cfg_; }
+
+  /// Next configuration to evaluate: a random feasible point during the
+  /// initialization phase, else the acquisition maximizer.
+  std::vector<double> suggest(Rng& rng);
+
+  /// Record the observed cost of a configuration.
+  void tell(std::vector<double> z, double cost);
+
+  std::size_t observation_count() const { return data_.size(); }
+  const std::vector<Observation>& observations() const { return data_; }
+  bool in_initialization() const {
+    return data_.size() < static_cast<std::size_t>(cfg_.n_initial);
+  }
+
+  /// Lowest-cost observation so far; requires at least one tell().
+  const Observation& best() const;
+
+  /// Allow a caller to swap the kernel (ablation bench). Resets nothing
+  /// else; takes effect at the next suggest(). Disables the length-scale
+  /// grid search.
+  void set_kernel(std::unique_ptr<Kernel> kernel);
+
+ private:
+  std::unique_ptr<Kernel> make_kernel(double length_scale) const;
+
+  SimplexBoxSpace space_;
+  BoConfig cfg_;
+  std::vector<Observation> data_;
+  std::unique_ptr<Kernel> kernel_override_;
+};
+
+}  // namespace hbosim::bo

@@ -1,0 +1,15 @@
+#include "hbosim/common/error.hpp"
+
+#include <sstream>
+
+namespace hbosim::detail {
+
+void fail(const char* expr, const char* file, int line,
+          const std::string& message) {
+  std::ostringstream os;
+  os << message << " [check `" << expr << "` failed at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+}  // namespace hbosim::detail

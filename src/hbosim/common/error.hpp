@@ -1,0 +1,37 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error handling for hbosim. Programming and configuration errors throw
+/// hbosim::Error; the HB_REQUIRE / HB_ASSERT macros attach file/line
+/// context. Simulation code never swallows errors silently.
+
+namespace hbosim {
+
+/// Exception type thrown for invariant violations and invalid arguments.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const std::string& message);
+}  // namespace detail
+
+}  // namespace hbosim
+
+/// Precondition check: always active (not compiled out in release builds);
+/// these guard public API boundaries.
+#define HB_REQUIRE(expr, message)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hbosim::detail::fail(#expr, __FILE__, __LINE__, (message));     \
+    }                                                                   \
+  } while (0)
+
+/// Internal invariant check; same behaviour as HB_REQUIRE but signals a
+/// library bug rather than caller misuse.
+#define HB_ASSERT(expr, message) HB_REQUIRE(expr, message)

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.hpp
+/// Tiny leveled logger. Default level is Warn so tests and benches stay
+/// quiet; examples raise it to Info to narrate what the framework does.
+
+namespace hbosim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as `[level] component: message`.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  const char* component;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lvl, const char* comp) : level(lvl), component(comp) {}
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace hbosim
+
+#define HB_LOG(level, component) \
+  ::hbosim::detail::LogLine(level, component)
+#define HB_LOG_INFO(component) HB_LOG(::hbosim::LogLevel::Info, component)
+#define HB_LOG_DEBUG(component) HB_LOG(::hbosim::LogLevel::Debug, component)
+#define HB_LOG_WARN(component) HB_LOG(::hbosim::LogLevel::Warn, component)

@@ -1,0 +1,112 @@
+#include "hbosim/common/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim {
+
+double clampd(double v, double lo, double hi) {
+  HB_REQUIRE(lo <= hi, "clampd requires lo <= hi");
+  return std::min(std::max(v, lo), hi);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HB_REQUIRE(!xs.empty(), "percentile of empty span");
+  HB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  HB_REQUIRE(n >= 1, "linspace requires n >= 1");
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+double norm_pdf(double z) {
+  static const double inv_sqrt_2pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  return inv_sqrt_2pi * std::exp(-0.5 * z * z);
+}
+
+double norm_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double euclidean_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  HB_REQUIRE(a.size() == b.size(), "euclidean_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::vector<double> project_to_simplex(std::span<const double> v) {
+  HB_REQUIRE(!v.empty(), "project_to_simplex: empty input");
+  std::vector<double> u(v.begin(), v.end());
+  std::sort(u.begin(), u.end(), std::greater<>());
+  double css = 0.0;
+  double theta = 0.0;
+  std::size_t rho = 0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    cum += u[i];
+    const double t = (cum - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = i + 1;
+      css = cum;
+    }
+  }
+  if (rho == 0) {
+    // All mass below threshold; return uniform point.
+    std::vector<double> out(v.size(), 1.0 / static_cast<double>(v.size()));
+    return out;
+  }
+  theta = (css - 1.0) / static_cast<double>(rho);
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = std::max(v[i] - theta, 0.0);
+  return out;
+}
+
+}  // namespace hbosim

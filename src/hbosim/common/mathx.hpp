@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file mathx.hpp
+/// Scalar and small-vector math helpers used throughout hbosim.
+
+namespace hbosim {
+
+/// Clamp v into [lo, hi]. Requires lo <= hi.
+double clampd(double v, double lo, double hi);
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stdev(std::span<const double> xs);
+
+/// Linearly interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n==1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Standard normal probability density.
+double norm_pdf(double z);
+
+/// Standard normal cumulative distribution (via std::erfc).
+double norm_cdf(double z);
+
+/// Euclidean distance between two equal-length vectors.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+/// Sum of a span.
+double sum(std::span<const double> xs);
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// Project v onto the probability simplex {p : p_i >= 0, sum p_i = 1}
+/// (Euclidean projection, algorithm of Wang & Carreira-Perpinan).
+std::vector<double> project_to_simplex(std::span<const double> v);
+
+}  // namespace hbosim

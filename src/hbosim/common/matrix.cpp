@@ -1,0 +1,99 @@
+#include "hbosim/common/matrix.hpp"
+
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  HB_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  HB_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> v) const {
+  HB_REQUIRE(v.size() == cols_, "matvec: dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::matvec_transposed(std::span<const double> v) const {
+  HB_REQUIRE(v.size() == rows_, "matvec_transposed: dimension mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += data_[r * cols_ + c] * v[r];
+  return out;
+}
+
+Cholesky::Cholesky(const Matrix& a, double jitter) {
+  HB_REQUIRE(a.is_square(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    HB_REQUIRE(diag > 0.0, "Cholesky: matrix not positive definite");
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
+      l_(i, j) = v / l_(j, j);
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve_lower(std::span<const double> b) const {
+  const std::size_t n = size();
+  HB_REQUIRE(b.size() == n, "solve_lower: dimension mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve_upper(std::span<const double> b) const {
+  const std::size_t n = size();
+  HB_REQUIRE(b.size() == n, "solve_upper: dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= l_(k, i) * x[k];
+    x[i] = v / l_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  return solve_upper(solve_lower(b));
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace hbosim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file matrix.hpp
+/// Minimal dense linear algebra for the Gaussian-process code: a row-major
+/// Matrix with Cholesky factorization and triangular solves. Sized for the
+/// small systems BO produces (tens of observations), so clarity beats
+/// cache-blocking here.
+
+namespace hbosim {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Matrix-vector product (this * v). v.size() must equal cols().
+  std::vector<double> matvec(std::span<const double> v) const;
+
+  /// Transposed matrix-vector product (this^T * v). v.size() == rows().
+  std::vector<double> matvec_transposed(std::span<const double> v) const;
+
+  bool is_square() const { return rows_ == cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Adds `jitter` to the diagonal before factorizing; throws hbosim::Error if
+/// the matrix is not positive definite even with jitter escalation disabled.
+class Cholesky {
+ public:
+  /// Factorize A (+ jitter*I). A must be square and symmetric.
+  explicit Cholesky(const Matrix& a, double jitter = 0.0);
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Solve L y = b (forward substitution).
+  std::vector<double> solve_lower(std::span<const double> b) const;
+
+  /// Solve L^T x = b (back substitution).
+  std::vector<double> solve_upper(std::span<const double> b) const;
+
+  /// Solve (L L^T) x = b.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// log det(A) = 2 * sum log L_ii.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace hbosim

@@ -1,0 +1,65 @@
+#include "hbosim/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stdev() const { return std::sqrt(variance()); }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  HB_REQUIRE(alpha > 0.0 && alpha <= 1.0, "Ewma alpha must be in (0,1]");
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+double Ewma::value() const {
+  HB_REQUIRE(initialized_, "Ewma::value on empty accumulator");
+  return value_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  HB_REQUIRE(bins > 0, "Histogram requires at least one bin");
+  HB_REQUIRE(hi > lo, "Histogram requires hi > lo");
+}
+
+void Histogram::add(double x) {
+  const auto raw = static_cast<long>(std::floor((x - lo_) / width_));
+  const long clamped =
+      std::clamp(raw, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  HB_REQUIRE(i < counts_.size(), "Histogram bin index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace hbosim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming statistics used by the metrics pipeline.
+
+namespace hbosim {
+
+/// Welford's online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1); 0 for n < 2.
+  double stdev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return !initialized_; }
+  double value() const;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  double bin_lower(std::size_t i) const;
+  double bin_width() const { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hbosim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Text table and CSV emitters used by the bench harnesses to print the
+/// paper's tables and figure series in a stable, diffable format.
+
+namespace hbosim {
+
+/// An aligned plain-text table (markdown-ish pipes).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams rows of comma-separated values with a header; used to emit
+/// figure series (x, series1, series2, ...) that plot directly.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+}  // namespace hbosim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Fundamental aliases shared across the hbosim libraries.
+///
+/// All simulated time is kept in double-precision *seconds*; latencies
+/// reported to the user are converted to milliseconds at the edges (the
+/// paper reports milliseconds throughout).
+
+namespace hbosim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// A span of simulated time, in seconds.
+using SimDuration = double;
+
+/// Milliseconds -> seconds.
+constexpr SimDuration ms(double v) { return v * 1e-3; }
+
+/// Seconds -> milliseconds.
+constexpr double to_ms(SimDuration v) { return v * 1e3; }
+
+/// Monotonically increasing identifier types. Using distinct structs would
+/// be heavier than the codebase needs; the aliases keep call sites honest.
+using TaskId = std::uint32_t;
+using ObjectId = std::uint32_t;
+using JobId = std::uint64_t;
+
+}  // namespace hbosim

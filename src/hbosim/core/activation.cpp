@@ -1,0 +1,52 @@
+#include "hbosim/core/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::core {
+
+EventActivationPolicy::EventActivationPolicy(double up_fraction,
+                                             double down_fraction,
+                                             double reference_floor)
+    : up_fraction_(up_fraction),
+      down_fraction_(down_fraction),
+      reference_floor_(reference_floor) {
+  HB_REQUIRE(up_fraction_ >= 0.0 && down_fraction_ >= 0.0,
+             "activation fractions must be non-negative");
+  HB_REQUIRE(reference_floor_ > 0.0, "reference floor must be positive");
+}
+
+double EventActivationPolicy::reference() const {
+  HB_REQUIRE(has_reference_, "no reference reward recorded yet");
+  return reference_;
+}
+
+void EventActivationPolicy::set_reference(double reward) {
+  reference_ = reward;
+  has_reference_ = true;
+}
+
+bool EventActivationPolicy::should_activate(double current_reward) const {
+  ++evaluations_;
+  if (!has_reference_) return true;
+  const double base = std::max(std::abs(reference_), reference_floor_);
+  const double delta = current_reward - reference_;
+  if (delta > up_fraction_ * base) return true;
+  if (delta < -down_fraction_ * base) return true;
+  return false;
+}
+
+PeriodicActivationPolicy::PeriodicActivationPolicy(std::size_t period_ticks)
+    : period_ticks_(period_ticks) {
+  HB_REQUIRE(period_ticks_ > 0, "period must be positive");
+}
+
+bool PeriodicActivationPolicy::should_activate() {
+  const bool fire = (tick_ % period_ticks_) == 0;
+  ++tick_;
+  return fire;
+}
+
+}  // namespace hbosim::core

@@ -1,0 +1,123 @@
+#include "hbosim/core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::core {
+
+HeuristicAllocator::HeuristicAllocator(const ai::ProfileTable& profiles,
+                                       std::vector<std::string> task_models)
+    : profiles_(profiles), task_models_(std::move(task_models)) {
+  HB_REQUIRE(!task_models_.empty(), "allocator needs at least one task");
+  priority_entries_ = ai::build_priority_entries(profiles_, task_models_);
+}
+
+std::vector<int> HeuristicAllocator::round_quotas(
+    std::span<const double> usage, std::size_t task_count) {
+  HB_REQUIRE(usage.size() == static_cast<std::size_t>(soc::kNumDelegates),
+             "usage vector must have one entry per delegate");
+  const double total =
+      std::accumulate(usage.begin(), usage.end(), 0.0);
+  HB_REQUIRE(std::abs(total - 1.0) < 1e-6,
+             "usage proportions must sum to 1 (Constraint 9)");
+
+  // Lines 3-4: round down.
+  std::vector<int> quotas(usage.size());
+  int assigned = 0;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    HB_REQUIRE(usage[i] >= -1e-12 && usage[i] <= 1.0 + 1e-12,
+               "usage proportion out of [0,1] (Constraint 8)");
+    quotas[i] = static_cast<int>(
+        std::floor(usage[i] * static_cast<double>(task_count)));
+    assigned += quotas[i];
+  }
+
+  // Lines 5-12: distribute the remainder in non-increasing usage order.
+  int remainder = static_cast<int>(task_count) - assigned;
+  HB_ASSERT(remainder >= 0, "quota rounding produced excess tasks");
+  if (remainder > 0) {
+    std::vector<std::size_t> order(usage.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return usage[a] > usage[b];
+                     });
+    for (std::size_t i = 0; remainder > 0; i = (i + 1) % order.size()) {
+      ++quotas[order[i]];
+      --remainder;
+    }
+  }
+  return quotas;
+}
+
+AllocationResult HeuristicAllocator::allocate(
+    std::span<const double> usage) const {
+  const std::size_t m = task_models_.size();
+  AllocationResult out;
+  out.quotas = round_quotas(usage, m);
+
+  std::vector<int> quota = out.quotas;
+  std::vector<std::optional<soc::Delegate>> chosen(m);
+  std::vector<bool> resource_closed(soc::kNumDelegates, false);
+
+  // Lines 13-22. priority_entries_ is already latency-sorted, so walking
+  // it front to back with lazy skipping is the binary-heap poll loop with
+  // the "remove all entries of task i* / resource j*" steps implemented
+  // as the assigned/closed marks.
+  std::size_t k = 0;
+  for (const ai::PriorityEntry& e : priority_entries_) {
+    if (k == m) break;
+    if (chosen[e.task_index].has_value()) continue;  // task already placed
+    const auto j = static_cast<std::size_t>(e.delegate);
+    if (resource_closed[j]) continue;
+    if (quota[j] > 0) {
+      chosen[e.task_index] = e.delegate;  // line 17
+      --quota[j];                         // line 18
+      ++k;                                // line 19
+    } else {
+      resource_closed[j] = true;          // line 22
+    }
+  }
+
+  // Compatibility fallback (see header): place any task the pseudo-code
+  // left behind on its fastest compatible delegate, preferring remaining
+  // quota.
+  for (std::size_t t = 0; t < m; ++t) {
+    if (chosen[t].has_value()) continue;
+    out.fallback_tasks.push_back(t);
+    const ai::ModelProfile& p = profiles_.get(task_models_[t]);
+    std::optional<soc::Delegate> best_with_quota;
+    std::optional<soc::Delegate> best_any;
+    double best_with_quota_ms = 0.0;
+    double best_any_ms = 0.0;
+    for (int i = 0; i < soc::kNumDelegates; ++i) {
+      const auto& lat = p.isolation_ms[static_cast<std::size_t>(i)];
+      if (!lat) continue;
+      const auto d = soc::delegate_from_index(i);
+      if (!best_any || *lat < best_any_ms) {
+        best_any = d;
+        best_any_ms = *lat;
+      }
+      if (quota[static_cast<std::size_t>(i)] > 0 &&
+          (!best_with_quota || *lat < best_with_quota_ms)) {
+        best_with_quota = d;
+        best_with_quota_ms = *lat;
+      }
+    }
+    HB_ASSERT(best_any.has_value(), "task has no compatible delegate");
+    const soc::Delegate d = best_with_quota.value_or(*best_any);
+    chosen[t] = d;
+    if (quota[static_cast<std::size_t>(d)] > 0)
+      --quota[static_cast<std::size_t>(d)];
+  }
+
+  out.delegates.reserve(m);
+  for (std::size_t t = 0; t < m; ++t) out.delegates.push_back(*chosen[t]);
+  return out;
+}
+
+}  // namespace hbosim::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hbosim/ai/profiler.hpp"
+#include "hbosim/soc/resource.hpp"
+
+/// \file allocation.hpp
+/// Algorithm 1, lines 2-22: translate the BO's fractional per-resource
+/// usage vector c into a concrete delegate for each of the M AI tasks.
+///
+/// Two stages, exactly as in the paper:
+///  1. *Quota rounding* (lines 2-12): C_i = floor(c_i * M); the r leftover
+///     tasks are assigned one-by-one to resources in non-increasing c
+///     order (ties broken by resource index for determinism).
+///  2. *Priority-queue greedy* (lines 13-22): repeatedly take the
+///     (task, resource) pair with the lowest profiled isolation latency;
+///     if the resource still has quota, commit that assignment and drop
+///     the task's other entries; otherwise drop every entry for the
+///     exhausted resource.
+///
+/// Deviation from the paper's pseudo-code, documented here because the
+/// paper does not address it: with incompatible (model, delegate) pairs
+/// ("NA" in Table I) the queue can drain while quota remains on a
+/// delegate none of the leftover tasks support. Any still-unassigned task
+/// then falls back to its fastest *compatible* delegate with remaining
+/// quota, or — if no quota fits — its fastest compatible delegate
+/// overall. This keeps the result total and is exercised by tests.
+
+namespace hbosim::core {
+
+struct AllocationResult {
+  /// Delegate per task (ordered like the input taskset).
+  std::vector<soc::Delegate> delegates;
+  /// The integer quotas C after lines 2-12 (for tests/inspection).
+  std::vector<int> quotas;
+  /// Tasks that needed the compatibility fallback (empty when the paper's
+  /// pseudo-code sufficed).
+  std::vector<std::size_t> fallback_tasks;
+};
+
+class HeuristicAllocator {
+ public:
+  /// `profiles` must cover every model in `task_models`.
+  HeuristicAllocator(const ai::ProfileTable& profiles,
+                     std::vector<std::string> task_models);
+
+  /// Lines 2-22 for a usage vector c of size kNumDelegates (entries in
+  /// [0,1] summing to ~1).
+  AllocationResult allocate(std::span<const double> usage) const;
+
+  /// Lines 2-12 only (exposed for unit tests): integer quotas from
+  /// fractional usages.
+  static std::vector<int> round_quotas(std::span<const double> usage,
+                                       std::size_t task_count);
+
+ private:
+  const ai::ProfileTable& profiles_;
+  std::vector<std::string> task_models_;
+  std::vector<ai::PriorityEntry> priority_entries_;  // sorted by latency
+};
+
+}  // namespace hbosim::core

@@ -1,0 +1,19 @@
+#include "hbosim/core/config.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::core {
+
+void HboConfig::validate() const {
+  HB_REQUIRE(w >= 0.0, "weight w must be non-negative");
+  HB_REQUIRE(n_initial >= 1, "need at least one initial configuration");
+  HB_REQUIRE(n_iterations >= 0, "iteration count must be non-negative");
+  HB_REQUIRE(selection_candidates >= 1, "need at least one selection candidate");
+  HB_REQUIRE(r_min > 0.0 && r_min <= 1.0, "R_min must be in (0,1]");
+  HB_REQUIRE(control_period_s > 0.0, "control period must be positive");
+  HB_REQUIRE(monitor_period_s > 0.0, "monitor period must be positive");
+  HB_REQUIRE(up_fraction >= 0.0 && down_fraction >= 0.0,
+             "activation thresholds must be non-negative");
+}
+
+}  // namespace hbosim::core

@@ -1,0 +1,135 @@
+#include "hbosim/core/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/mathx.hpp"
+#include "hbosim/core/cost.hpp"
+
+namespace hbosim::core {
+
+const IterationRecord& ActivationResult::best() const {
+  HB_REQUIRE(best_index < history.size(), "empty activation result");
+  return history[best_index];
+}
+
+std::vector<double> ActivationResult::best_cost_curve() const {
+  std::vector<double> out;
+  out.reserve(history.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const IterationRecord& r : history) {
+    best = std::min(best, r.cost);
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<double> ActivationResult::consecutive_distances() const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < history.size(); ++i)
+    out.push_back(euclidean_distance(history[i - 1].z, history[i].z));
+  return out;
+}
+
+HboController::HboController(app::MarApp& app, HboConfig cfg)
+    : app_(app), cfg_(cfg), rng_(cfg.seed) {
+  cfg_.validate();
+}
+
+void HboController::ensure_allocator() {
+  if (allocator_) return;
+  HB_REQUIRE(!app_.tasks().empty(), "HBO needs at least one AI task");
+  allocator_ = std::make_unique<HeuristicAllocator>(app_.profiles(),
+                                                    app_.task_models());
+}
+
+std::vector<ObjectState> HboController::object_states(app::MarApp& app) {
+  std::vector<ObjectState> out;
+  for (ObjectId id : app.scene().object_ids()) {
+    const render::VirtualObject& obj = app.scene().object(id);
+    out.push_back(ObjectState{obj.asset().params(),
+                              app.scene().effective_distance(id),
+                              obj.asset().max_triangles()});
+  }
+  return out;
+}
+
+IterationRecord HboController::apply_configuration(
+    std::span<const double> z) {
+  ensure_allocator();
+  HB_REQUIRE(z.size() == static_cast<std::size_t>(soc::kNumDelegates) + 1,
+             "configuration must be [c_1..c_N, x]");
+  IterationRecord rec;
+  rec.z.assign(z.begin(), z.end());
+  auto [usage, x] = bo::SimplexBoxSpace::split(z);
+  rec.usage = usage;
+  rec.triangle_ratio = x;
+
+  const AllocationResult alloc = allocator_->allocate(usage);
+  rec.allocation = alloc.delegates;
+  app_.apply_allocation(alloc.delegates);
+
+  const std::vector<ObjectState> objects = object_states(app_);
+  rec.object_ratios = distribute_waterfill(objects, x);
+  if (!rec.object_ratios.empty()) app_.apply_object_ratios(rec.object_ratios);
+  return rec;
+}
+
+ActivationResult HboController::run_activation() {
+  ensure_allocator();
+  app_.start();
+
+  bo::BoConfig bo_cfg = cfg_.bo;
+  bo_cfg.n_initial = cfg_.n_initial;
+  optimizer_ = std::make_unique<bo::BayesianOptimizer>(
+      bo::SimplexBoxSpace(soc::kNumDelegates, cfg_.r_min, 1.0), bo_cfg);
+
+  ActivationResult result;
+  const int total_iters = cfg_.n_initial + cfg_.n_iterations;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    const std::vector<double> z = optimizer_->suggest(rng_);
+    IterationRecord rec = apply_configuration(z);
+    rec.index = iter;
+    rec.random_init = iter < cfg_.n_initial;
+
+    const app::PeriodMetrics metrics =
+        app_.run_period(cfg_.control_period_s);
+    rec.quality = metrics.average_quality;
+    rec.latency_ratio = metrics.latency_ratio;
+    rec.cost = cost_of(metrics, cfg_.w);
+    optimizer_->tell(rec.z, rec.cost);
+    result.history.push_back(std::move(rec));
+  }
+
+  // "After the last iteration, the configuration that obtained the lowest
+  // cost value is selected to be used until the next activation." A
+  // single 2-second window is a noisy estimator, so the top few
+  // candidates are re-measured once each and the re-measured winner is
+  // kept (see HboConfig::selection_candidates).
+  std::vector<std::size_t> order(result.history.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.history[a].cost < result.history[b].cost;
+  });
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(cfg_.selection_candidates), order.size());
+  result.best_index = order[0];
+  if (k > 1) {
+    double best_validated = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < k; ++i) {
+      apply_configuration(result.history[order[i]].z);
+      const app::PeriodMetrics m = app_.run_period(cfg_.control_period_s);
+      const double c = cost_of(m, cfg_.w);
+      if (c < best_validated) {
+        best_validated = c;
+        result.best_index = order[i];
+      }
+    }
+    result.validated_cost = best_validated;
+  }
+  apply_configuration(result.history[result.best_index].z);
+  return result;
+}
+
+}  // namespace hbosim::core

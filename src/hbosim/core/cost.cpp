@@ -1,0 +1,17 @@
+#include "hbosim/core/cost.hpp"
+
+namespace hbosim::core {
+
+double reward(double average_quality, double latency_ratio, double w) {
+  return average_quality - w * latency_ratio;
+}
+
+double cost(double average_quality, double latency_ratio, double w) {
+  return -reward(average_quality, latency_ratio, w);
+}
+
+double cost_of(const hbosim::app::PeriodMetrics& m, double w) {
+  return cost(m.average_quality, m.latency_ratio, w);
+}
+
+}  // namespace hbosim::core

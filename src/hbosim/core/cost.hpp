@@ -1,0 +1,21 @@
+#pragma once
+
+#include "hbosim/app/metrics.hpp"
+
+/// \file cost.hpp
+/// Eq. 3 and Eq. 5: the reward B_t = Q_t - w * epsilon_t that HBO
+/// maximizes, and the cost phi = -B_t that the Bayesian optimizer
+/// minimizes.
+
+namespace hbosim::core {
+
+/// Eq. 3.
+double reward(double average_quality, double latency_ratio, double w);
+
+/// Eq. 5 (phi = -B).
+double cost(double average_quality, double latency_ratio, double w);
+
+/// Cost of a measured period.
+double cost_of(const hbosim::app::PeriodMetrics& m, double w);
+
+}  // namespace hbosim::core

@@ -1,0 +1,56 @@
+#include "hbosim/core/lookup_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbosim::core {
+
+EnvironmentKey SolutionLookupTable::make_key(app::MarApp& app) {
+  EnvironmentKey key;
+  key.triangle_bucket = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(app.scene().total_max_triangles()) / 1e5));
+
+  const auto ids = app.scene().object_ids();
+  if (!ids.empty()) {
+    double acc = 0.0;
+    for (ObjectId id : ids) acc += app.scene().effective_distance(id);
+    const double avg = acc / static_cast<double>(ids.size());
+    key.distance_bucket = static_cast<std::uint64_t>(std::llround(avg * 2.0));
+  }
+
+  // Order-insensitive FNV over sorted model names.
+  std::vector<std::string> models = app.task_models();
+  std::sort(models.begin(), models.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::string& m : models) {
+    for (char c : m) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= '|';
+    h *= 1099511628211ull;
+  }
+  key.taskset_hash = h;
+  return key;
+}
+
+void SolutionLookupTable::store(const EnvironmentKey& key,
+                                StoredSolution solution) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || solution.cost < it->second.cost) {
+    entries_[key] = std::move(solution);
+  }
+}
+
+std::optional<StoredSolution> SolutionLookupTable::find(
+    const EnvironmentKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+}  // namespace hbosim::core

@@ -1,0 +1,94 @@
+#include "hbosim/core/monitored_session.hpp"
+
+#include "hbosim/common/error.hpp"
+#include <cmath>
+
+#include "hbosim/core/cost.hpp"
+
+namespace hbosim::core {
+
+MonitoredSession::MonitoredSession(app::MarApp& app,
+                                   MonitoredSessionConfig cfg)
+    : app_(app),
+      cfg_(cfg),
+      controller_(app, cfg.hbo),
+      policy_(cfg.hbo.up_fraction, cfg.hbo.down_fraction),
+      smoothed_(cfg.smoothing_alpha) {
+  HB_REQUIRE(cfg_.reference_periods >= 1,
+             "need at least one reference period");
+  HB_REQUIRE(cfg_.warm_start_tolerance >= 0.0,
+             "warm-start tolerance must be non-negative");
+  app_.start();
+}
+
+double MonitoredSession::settle_and_reference() {
+  // One settle period flushes the last exploration config / redraw, then
+  // the reference is a multi-period average (see Section IV-E: "the new
+  // obtained reward is then used as new reference").
+  app_.run_period(cfg_.hbo.monitor_period_s);
+  double reference = 0.0;
+  for (int i = 0; i < cfg_.reference_periods; ++i) {
+    const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
+    reference += m.reward(cfg_.hbo.w) /
+                 static_cast<double>(cfg_.reference_periods);
+    rewards_.emplace_back(app_.sim().now(), m.reward(cfg_.hbo.w));
+  }
+  policy_.set_reference(reference);
+  smoothed_ = Ewma(cfg_.smoothing_alpha);
+  smoothed_.add(reference);
+  return reference;
+}
+
+void MonitoredSession::activate() {
+  SessionActivation record;
+  record.at = app_.sim().now();
+
+  if (cfg_.use_lookup_table) {
+    const EnvironmentKey key = SolutionLookupTable::make_key(app_);
+    if (const auto hit = lookup_.find(key)) {
+      // Warm start: apply the remembered configuration and check it still
+      // performs; only fall back to a full activation if it degraded.
+      controller_.apply_configuration(hit->z);
+      app_.run_period(cfg_.hbo.monitor_period_s);  // settle
+      const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
+      if (cost_of(m, cfg_.hbo.w) <= hit->cost + cfg_.warm_start_tolerance) {
+        record.warm_start = true;
+        record.reference_reward = settle_and_reference();
+        activations_.push_back(std::move(record));
+        return;
+      }
+    }
+  }
+
+  record.result = controller_.run_activation();
+  if (cfg_.use_lookup_table) {
+    // Remember the *validated* cost where available: the raw minimum of
+    // the noisy exploration samples is optimistically biased, which would
+    // make later warm starts look like regressions.
+    const double remembered = std::isfinite(record.result.validated_cost)
+                                  ? record.result.validated_cost
+                                  : record.result.best().cost;
+    lookup_.store(SolutionLookupTable::make_key(app_),
+                  StoredSolution{record.result.best().z, remembered});
+  }
+  record.reference_reward = settle_and_reference();
+  activations_.push_back(std::move(record));
+}
+
+bool MonitoredSession::tick() {
+  const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
+  const double reward = m.reward(cfg_.hbo.w);
+  rewards_.emplace_back(app_.sim().now(), reward);
+  smoothed_.add(reward);
+
+  if (app_.scene().empty()) return false;  // arm at first placement
+  if (!policy_.should_activate(smoothed_.value())) return false;
+  activate();
+  return true;
+}
+
+void MonitoredSession::run_until(SimTime until) {
+  while (app_.sim().now() < until) tick();
+}
+
+}  // namespace hbosim::core

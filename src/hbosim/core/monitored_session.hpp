@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hbosim/app/mar_app.hpp"
+#include "hbosim/common/stats.hpp"
+#include "hbosim/core/activation.hpp"
+#include "hbosim/core/controller.hpp"
+#include "hbosim/core/lookup_table.hpp"
+
+/// \file monitored_session.hpp
+/// The full HBO runtime loop as a reusable component: monitor the reward
+/// every monitor period (EWMA-smoothed), consult the event-based
+/// activation policy, run an activation when it fires, re-establish the
+/// reference from a settled multi-period average — i.e. everything
+/// Section IV-E describes, packaged so applications do not hand-roll the
+/// loop (the Fig. 8 bench and the museum example are thin wrappers over
+/// this).
+///
+/// Optionally consults the Section VI solution lookup table before
+/// spending a full Bayesian activation: on an exact environment match the
+/// remembered configuration is applied and validated in one control
+/// period; a fresh activation runs only if the warm start underperforms
+/// the remembered cost by more than `warm_start_tolerance`.
+
+namespace hbosim::core {
+
+struct MonitoredSessionConfig {
+  HboConfig hbo;
+  /// EWMA weight for the monitored reward.
+  double smoothing_alpha = 0.3;
+  /// Settled periods averaged into a new reference after an activation.
+  int reference_periods = 3;
+  /// Enable the Section VI lookup-table fast path.
+  bool use_lookup_table = false;
+  /// Warm-start acceptance: measured cost may exceed the remembered cost
+  /// by at most this much before a full activation is triggered anyway.
+  double warm_start_tolerance = 0.15;
+};
+
+/// One record per activation the session performed.
+struct SessionActivation {
+  SimTime at = 0.0;
+  bool warm_start = false;   ///< Served from the lookup table?
+  double reference_reward = 0.0;
+  ActivationResult result;   ///< Empty history for warm starts.
+};
+
+class MonitoredSession {
+ public:
+  MonitoredSession(app::MarApp& app, MonitoredSessionConfig cfg = {});
+
+  /// Advance the app by one monitor period; runs an activation when the
+  /// policy fires. Returns true if an activation (or warm start) ran.
+  bool tick();
+
+  /// Run tick() until the simulation clock reaches `until`.
+  void run_until(SimTime until);
+
+  const std::vector<SessionActivation>& activations() const {
+    return activations_;
+  }
+  /// (time, reward) samples observed by the monitor.
+  const std::vector<std::pair<SimTime, double>>& reward_trace() const {
+    return rewards_;
+  }
+  const EventActivationPolicy& policy() const { return policy_; }
+  const SolutionLookupTable& lookup_table() const { return lookup_; }
+  const MonitoredSessionConfig& config() const { return cfg_; }
+
+ private:
+  void activate();
+  double settle_and_reference();
+
+  app::MarApp& app_;
+  MonitoredSessionConfig cfg_;
+  HboController controller_;
+  EventActivationPolicy policy_;
+  SolutionLookupTable lookup_;
+  Ewma smoothed_;
+  std::vector<SessionActivation> activations_;
+  std::vector<std::pair<SimTime, double>> rewards_;
+};
+
+}  // namespace hbosim::core

@@ -1,0 +1,52 @@
+#include "hbosim/des/process.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::des {
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, SimDuration period, Tick tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+  HB_REQUIRE(period_ > 0.0, "PeriodicProcess period must be positive");
+  HB_REQUIRE(tick_ != nullptr, "PeriodicProcess requires a tick callback");
+}
+
+PeriodicProcess::~PeriodicProcess() { stop(); }
+
+void PeriodicProcess::start(SimDuration initial_delay) {
+  HB_REQUIRE(!running_, "PeriodicProcess already running");
+  running_ = true;
+  const SimDuration delay = initial_delay < 0.0 ? period_ : initial_delay;
+  pending_ = sim_.schedule_after(delay, [this] { on_tick(); });
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicProcess::set_period(SimDuration period) {
+  HB_REQUIRE(period > 0.0, "PeriodicProcess period must be positive");
+  period_ = period;
+  // Take effect immediately: the next tick fires one new period from now.
+  if (running_ && pending_ != 0) {
+    sim_.cancel(pending_);
+    arm();
+  }
+}
+
+void PeriodicProcess::arm() {
+  pending_ = sim_.schedule_after(period_, [this] { on_tick(); });
+}
+
+void PeriodicProcess::on_tick() {
+  pending_ = 0;
+  // Re-arm before the callback so that tick_() may stop() the process.
+  arm();
+  tick_();
+}
+
+}  // namespace hbosim::des

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+
+#include "hbosim/des/simulator.hpp"
+
+/// \file process.hpp
+/// Small process helpers layered on the event queue.
+
+namespace hbosim::des {
+
+/// Invokes a callback every `period` seconds until stopped. The first tick
+/// fires after `initial_delay` (default: one full period).
+class PeriodicProcess {
+ public:
+  using Tick = std::function<void()>;
+
+  PeriodicProcess(Simulator& sim, SimDuration period, Tick tick);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Begin ticking; `initial_delay` < 0 means "one period from now".
+  void start(SimDuration initial_delay = -1.0);
+  void stop();
+  bool running() const { return running_; }
+
+  /// Change the period; if running, the pending tick is re-armed to fire
+  /// one new period from now.
+  void set_period(SimDuration period);
+  SimDuration period() const { return period_; }
+
+ private:
+  void arm();
+  void on_tick();
+
+  Simulator& sim_;
+  SimDuration period_;
+  Tick tick_;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+}  // namespace hbosim::des

@@ -1,0 +1,133 @@
+#include "hbosim/des/ps_resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::des {
+
+namespace {
+/// Work below this threshold (seconds of service) counts as finished; it
+/// absorbs floating-point residue from repeated progress updates.
+constexpr double kEpsilon = 1e-12;
+}  // namespace
+
+PsResource::PsResource(Simulator& sim, std::string name, double capacity,
+                       double max_rate_per_job)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(capacity),
+      max_rate_per_job_(max_rate_per_job) {
+  HB_REQUIRE(capacity_ > 0.0, "PsResource capacity must be positive");
+  HB_REQUIRE(max_rate_per_job_ > 0.0, "max_rate_per_job must be positive");
+}
+
+double PsResource::shared_rate(double total_cores) const {
+  if (total_cores <= 0.0) return 0.0;
+  const double available = capacity_ * (1.0 - background_);
+  return std::min(max_rate_per_job_, available / total_cores);
+}
+
+double PsResource::current_rate_per_job(std::size_t extra_jobs) const {
+  return shared_rate(requested_cores_ + static_cast<double>(extra_jobs));
+}
+
+void PsResource::advance_progress() {
+  const SimTime now = sim_.now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0.0 && current_rate_ > 0.0) {
+    const double progress = elapsed * current_rate_;
+    for (auto& [id, job] : jobs_) {
+      const double used = std::min(progress, job.remaining);
+      job.remaining -= used;
+      work_done_ += used;
+    }
+  }
+  last_update_ = now;
+}
+
+void PsResource::reschedule() {
+  if (pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  current_rate_ = shared_rate(requested_cores_);
+  if (jobs_.empty() || current_rate_ <= 0.0) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_)
+    min_remaining = std::min(min_remaining, job.remaining);
+  const double eta = std::max(min_remaining, 0.0) / current_rate_;
+  pending_event_ =
+      sim_.schedule_after(eta, [this] { on_completion_event(); });
+}
+
+void PsResource::on_completion_event() {
+  pending_event_ = 0;
+  advance_progress();
+
+  // Collect everything that is done before invoking callbacks: a callback
+  // may submit new work to this same resource (pipelined phases), so the
+  // internal state must be consistent first.
+  std::vector<Completion> finished;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kEpsilon) {
+      finished.push_back(std::move(it->second.done));
+      requested_cores_ -= it->second.cores;
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (jobs_.empty()) requested_cores_ = 0.0;  // absorb fp residue
+  reschedule();
+  for (auto& done : finished) {
+    if (done) done();
+  }
+}
+
+JobId PsResource::submit(double demand, double cores, Completion done) {
+  HB_REQUIRE(demand >= 0.0, "job demand must be non-negative");
+  HB_REQUIRE(cores > 0.0, "job must request positive cores");
+  advance_progress();
+  const JobId id = next_job_id_++;
+  jobs_.emplace(id, Job{std::max(demand, kEpsilon), cores, std::move(done)});
+  requested_cores_ += cores;
+  reschedule();
+  return id;
+}
+
+JobId PsResource::submit(double demand, Completion done) {
+  return submit(demand, 1.0, std::move(done));
+}
+
+bool PsResource::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  advance_progress();
+  requested_cores_ -= it->second.cores;
+  jobs_.erase(it);
+  if (jobs_.empty()) requested_cores_ = 0.0;
+  reschedule();
+  return true;
+}
+
+void PsResource::set_background_utilization(double u) {
+  HB_REQUIRE(u >= 0.0 && u <= 1.0, "background utilization must be in [0,1]");
+  const double clamped = std::min(u, max_background_);
+  if (clamped == background_) return;
+  advance_progress();
+  background_ = clamped;
+  reschedule();
+}
+
+void PsResource::set_max_background(double u) {
+  HB_REQUIRE(u >= 0.0 && u < 1.0, "max background must be in [0,1)");
+  max_background_ = u;
+  if (background_ > max_background_) set_background_utilization(max_background_);
+}
+
+}  // namespace hbosim::des

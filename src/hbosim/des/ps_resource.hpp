@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "hbosim/des/simulator.hpp"
+
+/// \file ps_resource.hpp
+/// Generalized processor-sharing compute resource.
+///
+/// A PsResource models one compute unit of a mobile SoC (CPU cluster, GPU,
+/// NPU) as a processor-sharing server: the `capacity` (e.g., number of CPU
+/// cores, or 1.0 for an accelerator) is divided among the active jobs, with
+/// each job's instantaneous rate additionally capped at
+/// `max_rate_per_job` (a single inference cannot use more than one CPU
+/// core). A *background utilization* models the AR render pipeline: a
+/// fraction of capacity continuously consumed by drawing virtual objects,
+/// unavailable to AI jobs. This single mechanism reproduces the paper's
+/// motivation observations (Fig. 2): crowding a delegate inflates every
+/// task's latency, and raising triangle count starves GPU-resident phases.
+///
+/// Job demands are expressed in seconds-at-rate-1 (i.e., the time the work
+/// takes alone on one unit of this resource).
+
+namespace hbosim::des {
+
+class PsResource {
+ public:
+  using Completion = std::function<void()>;
+
+  PsResource(Simulator& sim, std::string name, double capacity,
+             double max_rate_per_job = 1.0);
+
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+
+  /// Submit a job requiring `demand` seconds of rate-1 service while
+  /// holding `cores` units of this resource (a multi-threaded CPU
+  /// inference holds several cores; accelerator kernels hold 1). When the
+  /// sum of requested cores exceeds the available capacity every job
+  /// slows down by the same factor. `done` is invoked (once) when the job
+  /// completes. Returns a handle for cancel().
+  JobId submit(double demand, double cores, Completion done);
+  JobId submit(double demand, Completion done);
+
+  /// Cancel an in-flight job; returns false if it already completed.
+  bool cancel(JobId id);
+
+  /// Set the fraction of capacity consumed by background (render) work,
+  /// in [0, max_background]. Takes effect immediately for running jobs.
+  void set_background_utilization(double u);
+  double background_utilization() const { return background_; }
+
+  /// Background utilization is clamped to this value so AI jobs can never
+  /// be starved to a full stop (the OS scheduler always lets GPU compute
+  /// kernels through eventually). Default 0.95.
+  void set_max_background(double u);
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Instantaneous service rate a single additional 1-core job would get.
+  double current_rate_per_job(std::size_t extra_jobs = 1) const;
+
+  /// Sum of cores requested by active jobs.
+  double requested_cores() const { return requested_cores_; }
+
+  /// Total rate-1 seconds of work completed so far (for utilization stats).
+  double work_done() const { return work_done_; }
+
+ private:
+  struct Job {
+    double remaining;  // seconds of rate-1 service left
+    double cores;      // capacity units held while running
+    Completion done;
+  };
+
+  /// Advance all job progress to sim.now() at the current rate.
+  void advance_progress();
+  /// Recompute per-job rate and (re)schedule the next completion event.
+  void reschedule();
+  /// Fires when the earliest job is predicted to finish.
+  void on_completion_event();
+  double shared_rate(double total_cores) const;
+
+  Simulator& sim_;
+  std::string name_;
+  double capacity_;
+  double max_rate_per_job_;
+  double background_ = 0.0;
+  double max_background_ = 0.95;
+
+  std::map<JobId, Job> jobs_;  // ordered: deterministic iteration
+  double requested_cores_ = 0.0;
+  JobId next_job_id_ = 1;
+  SimTime last_update_ = 0.0;
+  double current_rate_ = 0.0;  // per-job rate since last_update_
+  EventId pending_event_ = 0;
+  double work_done_ = 0.0;
+};
+
+}  // namespace hbosim::des

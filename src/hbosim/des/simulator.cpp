@@ -1,0 +1,64 @@
+#include "hbosim/des/simulator.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::des {
+
+EventId Simulator::schedule_at(SimTime at, Handler fn) {
+  HB_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  HB_REQUIRE(fn != nullptr, "event handler must be callable");
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay, Handler fn) {
+  HB_REQUIRE(delay >= 0.0, "cannot schedule with negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;
+  // We cannot remove from the middle of a binary heap; mark the id and drop
+  // the event when it reaches the top.
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulator::peel_cancelled() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  peel_cancelled();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  pending_ids_.erase(ev.id);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  HB_REQUIRE(t >= now_, "run_until target is in the past");
+  for (;;) {
+    peel_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+}  // namespace hbosim::des

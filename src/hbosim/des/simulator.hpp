@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "hbosim/common/types.hpp"
+
+/// \file simulator.hpp
+/// The discrete-event simulation core. A Simulator owns a virtual clock and
+/// a time-ordered event queue; everything in hbosim (AI inference phases,
+/// render frames, HBO control periods, network delays) executes as events on
+/// one Simulator, so the entire system is deterministic and runs far faster
+/// than real time.
+
+namespace hbosim::des {
+
+/// Identifier of a scheduled event, usable to cancel it.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds).
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Ties execute in
+  /// scheduling order (stable FIFO within a timestamp).
+  EventId schedule_at(SimTime at, Handler fn);
+
+  /// Schedule `fn` after `delay` seconds (>= 0).
+  EventId schedule_after(SimDuration delay, Handler fn);
+
+  /// Cancel a pending event. Returns false (no-op) if the event already
+  /// fired, was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Execute the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the clock reaches `t` (events at exactly `t` included);
+  /// the clock is advanced to `t` even if the queue drains first.
+  void run_until(SimTime t);
+
+  /// Run until no events remain or `max_events` have fired.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Number of events executed so far (for tests / micro-benches).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const { return pending_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  /// Drop cancelled events sitting at the head of the queue.
+  void peel_cancelled();
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hbosim::des

@@ -1,0 +1,58 @@
+#include "hbosim/des/trace.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::des {
+
+void TraceRecorder::record(const std::string& series, SimTime t, double value) {
+  series_[series].push_back(TracePoint{t, value});
+}
+
+void TraceRecorder::mark(SimTime t, const std::string& label) {
+  markers_.emplace_back(t, label);
+}
+
+bool TraceRecorder::has_series(const std::string& series) const {
+  return series_.count(series) > 0;
+}
+
+const std::vector<TracePoint>& TraceRecorder::series(
+    const std::string& name) const {
+  auto it = series_.find(name);
+  HB_REQUIRE(it != series_.end(), "unknown trace series: " + name);
+  return it->second;
+}
+
+std::vector<std::string> TraceRecorder::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, pts] : series_) out.push_back(name);
+  return out;
+}
+
+double TraceRecorder::window_mean(const std::string& name, SimTime t0,
+                                  SimTime t1) const {
+  const auto& pts = series(name);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : pts) {
+    if (p.time >= t0 && p.time <= t1) {
+      acc += p.value;
+      ++n;
+    }
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+void TraceRecorder::dump_series_csv(const std::string& name,
+                                    std::ostream& os) const {
+  os << "time," << name << '\n';
+  for (const auto& p : series(name)) os << p.time << ',' << p.value << '\n';
+}
+
+void TraceRecorder::clear() {
+  series_.clear();
+  markers_.clear();
+}
+
+}  // namespace hbosim::des

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+/// \file cache.hpp
+/// LRU cache of decimated mesh versions held on the device (paper Fig. 3:
+/// "Each decimated version can either be found in the local cache or
+/// downloaded from a server").
+
+namespace hbosim::edge {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// Look up a key, refreshing its recency. Returns nullptr on miss.
+  const std::uint64_t* get(const std::string& key);
+
+  /// Insert/overwrite a key, evicting the least-recently-used entry if at
+  /// capacity.
+  void put(const std::string& key, std::uint64_t value);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  // Most-recent at front.
+  std::list<std::pair<std::string, std::uint64_t>> order_;
+  std::unordered_map<std::string, decltype(order_)::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hbosim::edge

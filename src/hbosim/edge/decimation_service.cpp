@@ -1,0 +1,57 @@
+#include "hbosim/edge/decimation_service.hpp"
+
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::edge {
+
+DecimationService::DecimationService(DecimationServiceConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity) {
+  HB_REQUIRE(cfg_.ratio_levels > 0, "ratio_levels must be positive");
+  HB_REQUIRE(cfg_.server_ms_per_mtri >= 0.0, "server cost must be >= 0");
+}
+
+double DecimationService::quantize_ratio(double ratio) const {
+  HB_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "ratio must be in [0,1]");
+  if (ratio == 0.0) return 0.0;
+  const double levels = static_cast<double>(cfg_.ratio_levels);
+  const double q = std::ceil(ratio * levels) / levels;  // never degrade below ask
+  return std::min(q, 1.0);
+}
+
+DecimationResult DecimationService::request(const render::MeshAsset& asset,
+                                            double ratio) {
+  DecimationResult out;
+  out.served_ratio = quantize_ratio(ratio);
+  const std::string key =
+      asset.name() + "@" +
+      std::to_string(
+          static_cast<int>(std::lround(out.served_ratio * cfg_.ratio_levels)));
+
+  if (const std::uint64_t* cached = cache_.get(key)) {
+    out.triangles = *cached;
+    out.cache_hit = true;
+    out.delay_s = 0.0;
+    return out;
+  }
+
+  // Cache miss: the server decimates from the full-resolution mesh and the
+  // device downloads the decimated version.
+  out.triangles = asset.triangles_at(out.served_ratio);
+  out.cache_hit = false;
+  const double server_s = cfg_.server_ms_per_mtri * 1e-3 *
+                          static_cast<double>(asset.max_triangles()) / 1e6;
+  const auto payload = static_cast<std::uint64_t>(
+      cfg_.bytes_per_triangle * static_cast<double>(out.triangles));
+  out.delay_s = server_s + cfg_.network.transfer_seconds(payload);
+  cache_.put(key, out.triangles);
+  return out;
+}
+
+render::DegradationParams DecimationService::train_parameters(
+    const std::string& mesh_name, std::uint64_t max_triangles) const {
+  return render::synthesize_degradation_params(mesh_name, max_triangles);
+}
+
+}  // namespace hbosim::edge

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+
+#include "hbosim/edge/cache.hpp"
+#include "hbosim/edge/network.hpp"
+#include "hbosim/render/mesh.hpp"
+
+/// \file decimation_service.hpp
+/// The edge decimation server of Fig. 3. When HBO's triangle distributor
+/// asks for a version of an object at some ratio, the service either
+/// serves it from the device-local LRU cache (no cost) or "runs" the
+/// decimation algorithm remotely and downloads the result, charging a
+/// simulated delay (network transfer + server-side edge-collapse time
+/// proportional to the mesh size). Ratios are quantized to a discrete
+/// level grid, exactly as a real deployment caches a bounded set of
+/// versions per object.
+///
+/// The service also exposes the offline degradation-parameter trainer the
+/// paper mentions (eAR's per-object fitting): deterministic synthetic
+/// training, so every component that needs Eq. 1 parameters goes through
+/// the same entry point.
+
+namespace hbosim::edge {
+
+struct DecimationResult {
+  std::uint64_t triangles = 0;  ///< Triangles in the served version.
+  double served_ratio = 0.0;    ///< Quantized ratio actually served.
+  double delay_s = 0.0;         ///< Simulated fetch delay (0 on cache hit).
+  bool cache_hit = false;
+};
+
+struct DecimationServiceConfig {
+  NetworkModel network;
+  std::size_t cache_capacity = 256;
+  /// Quantization levels for cacheable ratios (ratio rounded to 1/levels).
+  int ratio_levels = 64;
+  /// Server-side decimation cost per million input triangles.
+  double server_ms_per_mtri = 35.0;
+  /// Mesh payload size per triangle (position+normal+index data).
+  double bytes_per_triangle = 36.0;
+};
+
+class DecimationService {
+ public:
+  explicit DecimationService(DecimationServiceConfig cfg = {});
+
+  /// Request `asset` decimated to `ratio` (in [0,1]).
+  DecimationResult request(const render::MeshAsset& asset, double ratio);
+
+  /// Offline per-object parameter training (eAR study stand-in).
+  render::DegradationParams train_parameters(const std::string& mesh_name,
+                                             std::uint64_t max_triangles) const;
+
+  std::uint64_t cache_hits() const { return cache_.hits(); }
+  std::uint64_t cache_misses() const { return cache_.misses(); }
+  const DecimationServiceConfig& config() const { return cfg_; }
+
+  /// Quantize a ratio onto the service's level grid (never returns 0
+  /// unless the input is 0).
+  double quantize_ratio(double ratio) const;
+
+ private:
+  DecimationServiceConfig cfg_;
+  LruCache cache_;
+};
+
+}  // namespace hbosim::edge

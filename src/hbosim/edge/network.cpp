@@ -1,0 +1,13 @@
+#include "hbosim/edge/network.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::edge {
+
+double NetworkModel::transfer_seconds(std::uint64_t payload_bytes) const {
+  HB_REQUIRE(rtt_ms >= 0.0 && mbit_per_s > 0.0, "invalid network model");
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  return rtt_ms * 1e-3 + bits / (mbit_per_s * 1e6);
+}
+
+}  // namespace hbosim::edge

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file network.hpp
+/// Wi-Fi/5G link model for talking to the edge decimation server (paper
+/// Fig. 3). Deliberately simple: a base round-trip time plus a throughput
+/// term for the decimated mesh payload. The paper notes the *optimization*
+/// payload is a few bytes; mesh downloads are what costs time.
+
+namespace hbosim::edge {
+
+struct NetworkModel {
+  double rtt_ms = 20.0;          ///< Base round-trip latency.
+  double mbit_per_s = 120.0;     ///< Downlink throughput.
+
+  /// One request/response exchange transferring `payload_bytes` down.
+  double transfer_seconds(std::uint64_t payload_bytes) const;
+};
+
+}  // namespace hbosim::edge

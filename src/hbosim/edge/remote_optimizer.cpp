@@ -1,0 +1,30 @@
+#include "hbosim/edge/remote_optimizer.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::edge {
+
+RemoteOptimizerLink::RemoteOptimizerLink(RemoteOptimizerConfig cfg)
+    : cfg_(cfg) {
+  HB_REQUIRE(cfg_.server_suggest_ms >= 0.0,
+             "server suggest time must be non-negative");
+}
+
+double RemoteOptimizerLink::round_trip_seconds() const {
+  return cfg_.network.transfer_seconds(cfg_.upload_bytes) +
+         cfg_.server_suggest_ms * 1e-3 +
+         cfg_.network.transfer_seconds(cfg_.download_bytes);
+}
+
+std::uint64_t RemoteOptimizerLink::bytes_per_iteration() const {
+  return cfg_.upload_bytes + cfg_.download_bytes;
+}
+
+bool RemoteOptimizerLink::offload_pays_off(
+    double local_suggest_seconds) const {
+  HB_REQUIRE(local_suggest_seconds >= 0.0,
+             "local suggest time must be non-negative");
+  return round_trip_seconds() < local_suggest_seconds;
+}
+
+}  // namespace hbosim::edge

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hbosim/edge/network.hpp"
+
+/// \file remote_optimizer.hpp
+/// Section VI's offload path: "the Bayesian Optimization algorithm can be
+/// executed on a local edge server ... by uploading the obtained
+/// performance from the cost calculator to the server and downloading the
+/// next configuration to test. The payload for exchanging such
+/// information is in the order of a few Bytes."
+///
+/// This component models that exchange: per BO iteration, one small
+/// uplink (the observed cost) and one small downlink (the next
+/// configuration), each a few dozen bytes over the NetworkModel, plus the
+/// server-side suggest time. It lets the controller account for the
+/// round-trip when deciding whether offloading pays off on a given link
+/// (the ablation bench compares local vs offloaded iteration overhead).
+
+namespace hbosim::edge {
+
+struct RemoteOptimizerConfig {
+  NetworkModel network;
+  /// Uplink payload: (z, cost) as packed floats plus framing.
+  std::uint64_t upload_bytes = 48;
+  /// Downlink payload: the next configuration vector.
+  std::uint64_t download_bytes = 40;
+  /// Server-side BO suggest time (powerful edge box; effectively the
+  /// K^3 term at server speed).
+  double server_suggest_ms = 2.0;
+};
+
+class RemoteOptimizerLink {
+ public:
+  explicit RemoteOptimizerLink(RemoteOptimizerConfig cfg = {});
+
+  /// Wall time consumed by one offloaded BO iteration's exchange
+  /// (upload + server compute + download), in seconds.
+  double round_trip_seconds() const;
+
+  /// Bytes moved per iteration (for the energy argument in Section VI).
+  std::uint64_t bytes_per_iteration() const;
+
+  /// Wall-time comparison helper: true when offloading an iteration is
+  /// cheaper than running the suggest step locally.
+  bool offload_pays_off(double local_suggest_seconds) const;
+
+  const RemoteOptimizerConfig& config() const { return cfg_; }
+
+ private:
+  RemoteOptimizerConfig cfg_;
+};
+
+}  // namespace hbosim::edge

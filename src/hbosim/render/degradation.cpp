@@ -1,0 +1,43 @@
+#include "hbosim/render/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::render {
+
+namespace {
+double effective_distance(double distance) { return std::max(distance, 1.0); }
+}  // namespace
+
+bool DegradationParams::valid() const {
+  if (a <= 0.0 || c <= 0.0 || d <= 0.0) return false;
+  // Non-increasing on [0,1]: slope 2aR + b <= 0 at R=1 (worst case).
+  if (2.0 * a + b > 0.0) return false;
+  // Error at R=1 (unit distance) must be non-negative.
+  if (a + b + c < 0.0) return false;
+  return true;
+}
+
+double degradation_error(const DegradationParams& p, double ratio,
+                         double distance) {
+  HB_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "decimation ratio must be in [0,1]");
+  const double numerator = p.a * ratio * ratio + p.b * ratio + p.c;
+  const double e = numerator / std::pow(effective_distance(distance), p.d);
+  return std::clamp(e, 0.0, 1.0);
+}
+
+double object_quality(const DegradationParams& p, double ratio,
+                      double distance) {
+  return 1.0 - degradation_error(p, ratio, distance);
+}
+
+double degradation_slope(const DegradationParams& p, double ratio,
+                         double distance) {
+  HB_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "decimation ratio must be in [0,1]");
+  return (2.0 * p.a * ratio + p.b) /
+         std::pow(effective_distance(distance), p.d);
+}
+
+}  // namespace hbosim::render

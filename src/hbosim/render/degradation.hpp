@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file degradation.hpp
+/// The eAR virtual-object quality-degradation model the paper borrows
+/// (its Eq. 1): for object i at decimation ratio R (selected triangles
+/// over maximum) viewed from distance D,
+///
+///   D_error = (a*R^2 + b*R + c) / D^d,   quality = 1 - D_error.
+///
+/// Parameters (a, b, c, d) are trained offline per object with an image-
+/// quality-assessment study (GMSD in eAR); here the edge module's trainer
+/// synthesizes them per mesh shape. Valid parameter sets give an error
+/// that is convex and strictly decreasing in R on [0, 1] (more triangles
+/// never look worse), which the water-filling triangle distributor relies
+/// on and the tests assert.
+
+namespace hbosim::render {
+
+struct DegradationParams {
+  double a = 0.0;  ///< Quadratic coefficient (> 0: convex error).
+  double b = 0.0;  ///< Linear coefficient (b < -2a: decreasing on [0,1]).
+  double c = 0.0;  ///< Error at R=0 (unit distance).
+  double d = 1.0;  ///< Distance exponent.
+
+  /// True if error is non-negative, convex and non-increasing on [0, 1].
+  bool valid() const;
+};
+
+/// Eq. 1; distance is clamped to >= 1 so closing in on an object never
+/// divides error below its trained near-field value, and the result is
+/// clamped into [0, 1]. `ratio` must lie in [0, 1].
+double degradation_error(const DegradationParams& p, double ratio,
+                         double distance);
+
+/// 1 - degradation_error.
+double object_quality(const DegradationParams& p, double ratio,
+                      double distance);
+
+/// d(D_error)/dR at the given ratio/distance (non-positive for valid
+/// params); used by the triangle distributor's marginal analysis.
+double degradation_slope(const DegradationParams& p, double ratio,
+                         double distance);
+
+}  // namespace hbosim::render

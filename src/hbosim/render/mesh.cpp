@@ -1,0 +1,54 @@
+#include "hbosim/render/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/rng.hpp"
+
+namespace hbosim::render {
+
+MeshAsset::MeshAsset(std::string name, std::uint64_t max_triangles,
+                     DegradationParams params)
+    : name_(std::move(name)),
+      max_triangles_(max_triangles),
+      params_(params) {
+  HB_REQUIRE(max_triangles_ > 0, "mesh needs at least one triangle");
+  HB_REQUIRE(params_.valid(),
+             "invalid degradation parameters for mesh " + name_);
+}
+
+std::uint64_t MeshAsset::triangles_at(double ratio) const {
+  HB_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "decimation ratio must be in [0,1]");
+  const auto t = static_cast<std::uint64_t>(
+      std::llround(ratio * static_cast<double>(max_triangles_)));
+  return std::max<std::uint64_t>(t, 1);
+}
+
+DegradationParams synthesize_degradation_params(const std::string& name,
+                                                std::uint64_t max_triangles) {
+  // Stable per-name seed (FNV-1a) so every run of every binary sees the
+  // same "trained" parameters for e.g. the SC1 bike.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  Rng rng(h);
+
+  // Detailed meshes (high triangle counts) lose more perceived quality per
+  // unit of decimation: scale the R=0 error ceiling with log10(count).
+  const double detail =
+      std::clamp(std::log10(static_cast<double>(max_triangles)) / 6.0, 0.3, 1.0);
+
+  DegradationParams p;
+  p.c = rng.uniform(0.92, 1.00) + 0.05 * detail;            // error at R=0
+  p.a = rng.uniform(0.50, 0.70);                            // convexity
+  const double residual = rng.uniform(0.01, 0.04);          // error at R=1
+  p.b = residual - p.a - p.c;
+  p.d = rng.uniform(0.60, 0.95);                            // distance falloff
+  HB_ASSERT(p.valid(), "synthesized degradation params invalid for " + name);
+  return p;
+}
+
+}  // namespace hbosim::render

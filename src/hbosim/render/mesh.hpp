@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hbosim/render/degradation.hpp"
+
+/// \file mesh.hpp
+/// A virtual-object mesh asset: a named triangle budget plus the trained
+/// degradation parameters of Eq. 1. The paper's objects (Table II) are
+/// mesh files downloaded from a decimation server; here an asset is pure
+/// metadata — the decimation service (edge module) produces "versions" of
+/// it at arbitrary ratios, and the exact triangle counts of Table II are
+/// reproduced in scenario/.
+
+namespace hbosim::render {
+
+class MeshAsset {
+ public:
+  MeshAsset(std::string name, std::uint64_t max_triangles,
+            DegradationParams params);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t max_triangles() const { return max_triangles_; }
+  const DegradationParams& params() const { return params_; }
+
+  /// Triangle count of the decimated version at `ratio` in [0, 1]
+  /// (rounded, never below the 1-triangle degenerate minimum).
+  std::uint64_t triangles_at(double ratio) const;
+
+ private:
+  std::string name_;
+  std::uint64_t max_triangles_;
+  DegradationParams params_;
+};
+
+/// Deterministically synthesize plausible degradation parameters for a
+/// mesh, keyed by its name and triangle count. Shapes with more geometric
+/// detail per triangle (low counts) degrade faster; the parameters always
+/// satisfy DegradationParams::valid(). `residual_error` is the error left
+/// at full quality (R=1, unit distance).
+DegradationParams synthesize_degradation_params(const std::string& name,
+                                                std::uint64_t max_triangles);
+
+}  // namespace hbosim::render

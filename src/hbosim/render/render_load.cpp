@@ -1,0 +1,19 @@
+#include "hbosim/render/render_load.hpp"
+
+namespace hbosim::render {
+
+RenderLoadBinder::RenderLoadBinder(Scene& scene, soc::SocRuntime& soc)
+    : scene_(scene), soc_(soc) {
+  scene_.set_change_listener([this] { refresh(); });
+  refresh();
+}
+
+void RenderLoadBinder::refresh() {
+  soc_.set_render_load(scene_.culled_triangles(), scene_.object_count());
+}
+
+double RenderLoadBinder::current_gpu_load() const {
+  return soc_.profile().render().gpu_load(scene_.culled_triangles());
+}
+
+}  // namespace hbosim::render

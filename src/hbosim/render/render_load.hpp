@@ -1,0 +1,31 @@
+#pragma once
+
+#include "hbosim/render/scene.hpp"
+#include "hbosim/soc/device.hpp"
+
+/// \file render_load.hpp
+/// Couples the scene to the SoC: whenever the scene changes (objects
+/// added/removed, ratios redrawn, user moved), the culled triangle count
+/// is converted into GPU/CPU background utilization through the device's
+/// RenderLoadModel. This is the AR side of the paper's AR/AI contention.
+
+namespace hbosim::render {
+
+class RenderLoadBinder {
+ public:
+  /// Installs itself as the scene's change listener and applies the
+  /// current load immediately.
+  RenderLoadBinder(Scene& scene, soc::SocRuntime& soc);
+
+  /// Recompute and apply the render load (idempotent).
+  void refresh();
+
+  /// GPU utilization the render pipeline currently imposes.
+  double current_gpu_load() const;
+
+ private:
+  Scene& scene_;
+  soc::SocRuntime& soc_;
+};
+
+}  // namespace hbosim::render

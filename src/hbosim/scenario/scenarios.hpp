@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbosim/app/mar_app.hpp"
+#include "hbosim/render/mesh.hpp"
+#include "hbosim/soc/device.hpp"
+
+/// \file scenarios.hpp
+/// The paper's Table II example scenarios: two virtual-object sets (SC1
+/// heavy, SC2 light), two AI tasksets (CF1 six tasks, CF2 three tasks),
+/// plus the mixed heavy/light set of the user study (Section V-E).
+/// Placement distances are not given in the paper; the fixed values here
+/// span the 1-3.5 m range its screenshots show and are deterministic so
+/// every bench sees the same scene.
+
+namespace hbosim::scenario {
+
+enum class ObjectSet { SC1, SC2, UserStudyMix };
+enum class TaskSet { CF1, CF2 };
+
+const char* object_set_name(ObjectSet s);
+const char* task_set_name(TaskSet t);
+
+struct ObjectPlacement {
+  std::shared_ptr<const render::MeshAsset> asset;
+  double distance_m;
+};
+
+struct TaskSpec {
+  std::string model;
+  std::string label;
+};
+
+/// Mesh asset by Table II name ("apricot", "bike", ...); cached so every
+/// caller shares one immutable asset (and its trained Eq. 1 parameters).
+std::shared_ptr<const render::MeshAsset> mesh_asset(const std::string& name);
+
+/// All placements of an object set (Table II counts and triangle budgets).
+std::vector<ObjectPlacement> object_placements(ObjectSet set);
+
+/// All task instances of a taskset (Table II counts; instance labels
+/// follow the paper's `<model>_<k>` style for duplicates).
+std::vector<TaskSpec> task_specs(TaskSet set);
+
+/// Total T^max of an object set.
+std::uint64_t total_max_triangles(ObjectSet set);
+
+/// Build a MarApp on `device`, place the object set, register the
+/// taskset (each task starting on its statically best delegate), and
+/// return it ready for start(). `seed` perturbs the engine noise stream.
+std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
+                                      ObjectSet objects, TaskSet tasks,
+                                      std::uint64_t seed = 0x5EEDu);
+
+}  // namespace hbosim::scenario

@@ -1,0 +1,148 @@
+#include "hbosim/soc/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::soc {
+
+double RenderLoadModel::gpu_load(double culled_triangles) const {
+  HB_REQUIRE(culled_triangles >= 0.0, "triangle count must be non-negative");
+  const double x = culled_triangles / tri_scale;
+  return max_gpu_load * std::min(std::pow(x, exponent), 1.0);
+}
+
+double RenderLoadModel::cpu_load_cores(std::size_t objects,
+                                       double culled_triangles) const {
+  const double cores = cpu_cores_per_object * static_cast<double>(objects) +
+                       cpu_cores_per_mtri * culled_triangles / 1e6;
+  return std::min(cores, max_cpu_load_cores);
+}
+
+DeviceProfile::DeviceProfile(std::string name, double cpu_cores,
+                             RenderLoadModel render, double gpu_comm_ms,
+                             double nnapi_comm_ms)
+    : name_(std::move(name)),
+      cpu_cores_(cpu_cores),
+      render_(render),
+      gpu_comm_ms_(gpu_comm_ms),
+      nnapi_comm_ms_(nnapi_comm_ms) {
+  HB_REQUIRE(cpu_cores_ > 0.0, "device needs at least one CPU core");
+  HB_REQUIRE(gpu_comm_ms_ >= 0.0 && nnapi_comm_ms_ >= 0.0,
+             "communication overheads must be non-negative");
+}
+
+double DeviceProfile::comm_ms(Delegate d) const {
+  switch (d) {
+    case Delegate::Cpu: return 0.0;
+    case Delegate::Gpu: return gpu_comm_ms_;
+    case Delegate::Nnapi: return nnapi_comm_ms_;
+  }
+  return 0.0;
+}
+
+void DeviceProfile::set_model(const std::string& model, ModelLatency lat) {
+  HB_REQUIRE(lat.cpu_ms > 0.0, "CPU latency must be positive (always runnable)");
+  HB_REQUIRE(lat.npu_fraction >= 0.0 && lat.npu_fraction <= 1.0,
+             "npu_fraction must be in [0,1]");
+  if (lat.gpu_ms)
+    HB_REQUIRE(*lat.gpu_ms > gpu_comm_ms_,
+               "GPU latency must exceed the dispatch overhead");
+  if (lat.nnapi_ms)
+    HB_REQUIRE(*lat.nnapi_ms > nnapi_comm_ms_,
+               "NNAPI latency must exceed the dispatch overhead");
+  models_[model] = lat;
+}
+
+bool DeviceProfile::has_model(const std::string& model) const {
+  return models_.count(model) > 0;
+}
+
+const ModelLatency& DeviceProfile::model(const std::string& model) const {
+  auto it = models_.find(model);
+  HB_REQUIRE(it != models_.end(),
+             "model not profiled on " + name_ + ": " + model);
+  return it->second;
+}
+
+std::vector<std::string> DeviceProfile::model_names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, lat] : models_) out.push_back(name);
+  return out;
+}
+
+bool DeviceProfile::supports(const std::string& model, Delegate d) const {
+  const ModelLatency& lat = this->model(model);
+  switch (d) {
+    case Delegate::Cpu: return true;
+    case Delegate::Gpu: return lat.gpu_ms.has_value();
+    case Delegate::Nnapi: return lat.nnapi_ms.has_value();
+  }
+  return false;
+}
+
+double DeviceProfile::isolation_ms(const std::string& model, Delegate d) const {
+  const ModelLatency& lat = this->model(model);
+  switch (d) {
+    case Delegate::Cpu:
+      return lat.cpu_ms;
+    case Delegate::Gpu:
+      HB_REQUIRE(lat.gpu_ms.has_value(), model + " has no GPU delegate on " + name_);
+      return *lat.gpu_ms;
+    case Delegate::Nnapi:
+      HB_REQUIRE(lat.nnapi_ms.has_value(),
+                 model + " has no NNAPI delegate on " + name_);
+      return *lat.nnapi_ms;
+  }
+  HB_ASSERT(false, "unreachable delegate");
+  return 0.0;
+}
+
+Delegate DeviceProfile::best_delegate(const std::string& model) const {
+  Delegate best = Delegate::Cpu;
+  double best_ms = isolation_ms(model, Delegate::Cpu);
+  for (Delegate d : {Delegate::Gpu, Delegate::Nnapi}) {
+    if (!supports(model, d)) continue;
+    const double v = isolation_ms(model, d);
+    if (v < best_ms) {
+      best_ms = v;
+      best = d;
+    }
+  }
+  return best;
+}
+
+SocRuntime::SocRuntime(des::Simulator& sim, const DeviceProfile& profile)
+    : profile_(profile),
+      cpu_(std::make_unique<des::PsResource>(sim, profile.name() + "/cpu",
+                                             profile.cpu_cores(),
+                                             /*max_rate_per_job=*/1.0)),
+      gpu_(std::make_unique<des::PsResource>(sim, profile.name() + "/gpu", 1.0)),
+      npu_(std::make_unique<des::PsResource>(sim, profile.name() + "/npu", 1.0)) {}
+
+des::PsResource& SocRuntime::unit(Unit u) {
+  switch (u) {
+    case Unit::Cpu: return *cpu_;
+    case Unit::Gpu: return *gpu_;
+    case Unit::Npu: return *npu_;
+  }
+  HB_ASSERT(false, "unreachable unit");
+  return *cpu_;
+}
+
+const des::PsResource& SocRuntime::unit(Unit u) const {
+  return const_cast<SocRuntime*>(this)->unit(u);
+}
+
+void SocRuntime::set_render_load(double culled_triangles,
+                                 std::size_t object_count) {
+  gpu_->set_background_utilization(profile_.render().gpu_load(culled_triangles));
+  const double cores =
+      profile_.render().cpu_load_cores(object_count, culled_triangles);
+  cpu_->set_background_utilization(
+      std::min(cores / profile_.cpu_cores(), 1.0));
+}
+
+}  // namespace hbosim::soc

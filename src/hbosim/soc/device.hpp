@@ -1,0 +1,135 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hbosim/des/ps_resource.hpp"
+#include "hbosim/des/simulator.hpp"
+#include "hbosim/soc/resource.hpp"
+
+/// \file device.hpp
+/// Device profiles and the runtime instantiation of a SoC on the simulator.
+///
+/// A DeviceProfile is pure data: per-model isolation latencies for each
+/// delegate (seeded from the paper's Table I), the NNAPI operator split,
+/// inter-processor communication overheads, CPU cluster size, and the
+/// render-load model that couples triangle count to GPU availability.
+/// A SocRuntime turns a profile into live processor-sharing resources on a
+/// Simulator.
+
+namespace hbosim::soc {
+
+/// Isolation latency profile of one AI model on one device (milliseconds,
+/// as reported in the paper's Table I). A missing value means the model is
+/// incompatible with that delegate ("NA" in the paper).
+struct ModelLatency {
+  std::optional<double> gpu_ms;    ///< GPU delegate end-to-end latency.
+  std::optional<double> nnapi_ms;  ///< NNAPI delegate end-to-end latency.
+  double cpu_ms = 0.0;             ///< CPU (XNNPack-style) latency.
+
+  /// Fraction of NNAPI compute placed on the NPU; the rest runs as GPU
+  /// operations (the paper's footnote 2: NPU-unsupported operators fall
+  /// back to the GPU, raising GPU demand).
+  double npu_fraction = 0.8;
+
+  /// CPU cores a CPU-delegate inference of this model occupies (TFLite
+  /// thread pool size scaled by per-thread efficiency); heavy
+  /// segmentation models keep several big cores busy.
+  double cpu_threads = 1.0;
+};
+
+/// Couples the AR render pipeline to compute availability.
+///
+/// GPU render utilization follows a convex power law,
+///   u = max_gpu_load * min(1, (tris / tri_scale)^exponent),
+/// capturing how a mobile GPU absorbs geometry cheaply until the vertex/
+/// raster pipeline approaches saturation and frame cost explodes. The
+/// convexity is what makes moderate decimation (x ~ 0.7) recover most of
+/// the AI latency while deeper cuts mostly burn quality — the knee the
+/// paper's HBO converges to.
+struct RenderLoadModel {
+  /// Culled-triangle count at which the render pipeline saturates.
+  double tri_scale = 8.5e5;
+  /// Convexity of the load curve.
+  double exponent = 3.0;
+  /// Utilization ceiling the render pipeline may consume on the GPU.
+  double max_gpu_load = 0.82;
+  /// CPU-cluster cores consumed per on-screen object (scene-graph
+  /// traversal) and per million culled triangles (driver submission),
+  /// capped at max_cpu_load cores.
+  double cpu_cores_per_object = 0.03;
+  double cpu_cores_per_mtri = 0.35;
+  double max_cpu_load_cores = 2.0;
+
+  /// GPU render utilization for a culled on-screen triangle count.
+  double gpu_load(double culled_triangles) const;
+  /// CPU cores consumed by rendering the scene.
+  double cpu_load_cores(std::size_t objects, double culled_triangles) const;
+};
+
+/// Static description of a device (SoC + profiled model latencies).
+class DeviceProfile {
+ public:
+  DeviceProfile(std::string name, double cpu_cores, RenderLoadModel render,
+                double gpu_comm_ms, double nnapi_comm_ms);
+
+  const std::string& name() const { return name_; }
+  double cpu_cores() const { return cpu_cores_; }
+  const RenderLoadModel& render() const { return render_; }
+
+  /// Fixed per-inference dispatch/communication overhead for delegates
+  /// (buffer upload, driver marshaling). CPU inference has none.
+  double comm_ms(Delegate d) const;
+
+  /// Register a model's latency profile. Replaces any previous entry.
+  void set_model(const std::string& model, ModelLatency lat);
+
+  bool has_model(const std::string& model) const;
+  const ModelLatency& model(const std::string& model) const;
+  std::vector<std::string> model_names() const;
+
+  /// Whether `model` can run via delegate `d` on this device.
+  bool supports(const std::string& model, Delegate d) const;
+
+  /// Isolation (Table I) latency in ms; throws if unsupported.
+  double isolation_ms(const std::string& model, Delegate d) const;
+
+  /// Delegate with the lowest isolation latency for `model`.
+  Delegate best_delegate(const std::string& model) const;
+
+ private:
+  std::string name_;
+  double cpu_cores_;
+  RenderLoadModel render_;
+  double gpu_comm_ms_;
+  double nnapi_comm_ms_;
+  std::map<std::string, ModelLatency> models_;
+};
+
+/// Live SoC: one processor-sharing resource per physical unit.
+class SocRuntime {
+ public:
+  SocRuntime(des::Simulator& sim, const DeviceProfile& profile);
+
+  des::PsResource& unit(Unit u);
+  const des::PsResource& unit(Unit u) const;
+  des::PsResource& cpu() { return unit(Unit::Cpu); }
+  des::PsResource& gpu() { return unit(Unit::Gpu); }
+  des::PsResource& npu() { return unit(Unit::Npu); }
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Apply the render pipeline's load for the given scene state.
+  void set_render_load(double culled_triangles, std::size_t object_count);
+
+ private:
+  const DeviceProfile& profile_;
+  std::unique_ptr<des::PsResource> cpu_;
+  std::unique_ptr<des::PsResource> gpu_;
+  std::unique_ptr<des::PsResource> npu_;
+};
+
+}  // namespace hbosim::soc

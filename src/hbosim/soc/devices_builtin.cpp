@@ -1,0 +1,110 @@
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::soc {
+
+namespace {
+
+/// Shorthand for a Table I row. `cpu_threads` reflects how many big cores
+/// the model's TFLite CPU path keeps busy (heavy segmentation models are
+/// aggressively multi-threaded).
+ModelLatency lat(std::optional<double> gpu, std::optional<double> nnapi,
+                 double cpu, double npu_fraction, double cpu_threads) {
+  ModelLatency m;
+  m.gpu_ms = gpu;
+  m.nnapi_ms = nnapi;
+  m.cpu_ms = cpu;
+  m.npu_fraction = npu_fraction;
+  m.cpu_threads = cpu_threads;
+  return m;
+}
+
+constexpr auto NA = std::nullopt;
+
+}  // namespace
+
+DeviceProfile pixel7() {
+  RenderLoadModel render;
+  render.tri_scale = 8.8e5;       // SC1 at full quality saturates the GPU
+  render.exponent = 7.0;
+  render.max_gpu_load = 0.72;
+  render.cpu_cores_per_object = 0.04;
+  render.max_cpu_load_cores = 1.2;
+
+  DeviceProfile d("Pixel 7", /*cpu_cores=*/6.0, render,
+                  /*gpu_comm_ms=*/2.0, /*nnapi_comm_ms=*/3.0);
+
+  // Table I, Google Pixel 7 columns (GPU / NNAPI / CPU, milliseconds).
+  // npu_fraction: share of NNAPI work on the NPU; models whose NNAPI
+  // latency beats GPU/CPU by a wide margin are NPU-friendly (high
+  // fraction), models that profile *worse* on NNAPI spend most of their
+  // operators on the GPU fallback path (low fraction).
+  d.set_model("deconv-munet", lat(17.9, NA, 65.9, 0.6, 3.0));
+  d.set_model("deeplabv3", lat(136.6, NA, 110.1, 0.7, 3.2));
+  d.set_model("efficientdet-lite", lat(109.8, NA, 97.3, 0.7, 3.0));
+  d.set_model("mobilenetDetv1", lat(56.5, 18.1, 48.9, 0.60, 1.6));
+  d.set_model("efficientclass-lite0", lat(43.37, 18.3, 41.5, 0.60, 1.2));
+  d.set_model("inception-v1-q", lat(60.8, 8.7, 63.2, 0.80, 1.2));
+  d.set_model("mobilenet-v1", lat(37.1, 10.2, 40.5, 0.80, 1.2));
+  d.set_model("model-metadata", lat(24.6, 40.7, 25.5, 0.55, 1.0));
+  // Synthetic tiny digit classifier (Table II tasksets; see header note).
+  d.set_model("mnist", lat(6.0, 7.0, 7.5, 0.70, 0.5));
+  return d;
+}
+
+DeviceProfile galaxy_s22() {
+  RenderLoadModel render;
+  render.tri_scale = 9.3e5;
+  render.exponent = 7.0;
+  render.max_gpu_load = 0.72;
+  render.cpu_cores_per_object = 0.035;
+  render.max_cpu_load_cores = 1.2;
+
+  DeviceProfile d("Galaxy S22", /*cpu_cores=*/6.0, render,
+                  /*gpu_comm_ms=*/2.0, /*nnapi_comm_ms=*/3.0);
+
+  // Table I, Galaxy S22 columns (GPU / NNAPI / CPU, milliseconds).
+  d.set_model("deconv-munet", lat(18.0, 33.0, 58.0, 0.50, 3.0));
+  d.set_model("deeplabv3", lat(45.0, 27.0, 46.0, 0.60, 3.2));
+  d.set_model("efficientdet-lite", lat(72.0, NA, 68.0, 0.7, 3.0));
+  d.set_model("mobilenetDetv1", lat(38.0, 13.0, 38.0, 0.60, 1.6));
+  d.set_model("efficientclass-lite0", lat(28.0, 10.0, 29.0, 0.60, 1.2));
+  d.set_model("inception-v1-q", lat(28.0, 8.0, 36.0, 0.80, 1.2));
+  d.set_model("mobilenet-v1", lat(26.0, 9.5, 28.0, 0.80, 1.2));
+  d.set_model("model-metadata", lat(12.7, 18.0, 14.0, 0.55, 1.0));
+  d.set_model("mnist", lat(5.0, 6.0, 6.5, 0.70, 0.5));
+  return d;
+}
+
+DeviceProfile synthetic_midtier() {
+  RenderLoadModel render;
+  render.tri_scale = 4.2e5;  // weaker GPU saturates earlier
+  render.exponent = 3.0;
+  render.max_gpu_load = 0.72;
+  render.cpu_cores_per_object = 0.06;
+  render.max_cpu_load_cores = 1.5;
+
+  DeviceProfile d("MidTier", /*cpu_cores=*/4.0, render,
+                  /*gpu_comm_ms=*/3.0, /*nnapi_comm_ms=*/4.5);
+
+  // Scaled ~1.6x from the Pixel 7 with a weaker NPU (lower NNAPI gains).
+  d.set_model("deconv-munet", lat(29.0, NA, 105.0, 0.6, 3.0));
+  d.set_model("deeplabv3", lat(210.0, NA, 176.0, 0.7, 3.2));
+  d.set_model("efficientdet-lite", lat(175.0, NA, 155.0, 0.7, 3.0));
+  d.set_model("mobilenetDetv1", lat(90.0, 36.0, 78.0, 0.70, 1.6));
+  d.set_model("efficientclass-lite0", lat(70.0, 35.0, 66.0, 0.70, 1.2));
+  d.set_model("inception-v1-q", lat(97.0, 19.0, 101.0, 0.80, 1.2));
+  d.set_model("mobilenet-v1", lat(59.0, 21.0, 65.0, 0.80, 1.2));
+  d.set_model("model-metadata", lat(39.0, 64.0, 41.0, 0.45, 1.0));
+  d.set_model("mnist", lat(9.5, 11.0, 12.0, 0.70, 0.5));
+  return d;
+}
+
+std::vector<DeviceProfile> builtin_devices() {
+  std::vector<DeviceProfile> out;
+  out.push_back(galaxy_s22());
+  out.push_back(pixel7());
+  out.push_back(synthetic_midtier());
+  return out;
+}
+
+}  // namespace hbosim::soc

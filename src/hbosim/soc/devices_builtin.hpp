@@ -1,0 +1,30 @@
+#pragma once
+
+#include "hbosim/soc/device.hpp"
+
+/// \file devices_builtin.hpp
+/// The two phones used in the paper's evaluation, with model isolation
+/// latencies transcribed from Table I, plus a synthetic mid-tier device for
+/// portability experiments. The paper's Table I does not include `mnist`
+/// (it appears in the Table II tasksets); its profile is synthesized as a
+/// tiny classifier "with similar latencies across all resources", which is
+/// how Section V-B describes it.
+
+namespace hbosim::soc {
+
+/// Google Pixel 7 (Tensor G2): deconv-munet, deeplabv3 and
+/// efficientdet-lite have no NNAPI path ("NA" in Table I).
+DeviceProfile pixel7();
+
+/// Samsung Galaxy S22: all Table I models except efficientdet-lite have an
+/// NNAPI path.
+DeviceProfile galaxy_s22();
+
+/// A synthetic mid-tier SoC: slower accelerators, fewer big cores. Not in
+/// the paper; used by the device-porting example and robustness tests.
+DeviceProfile synthetic_midtier();
+
+/// All built-in devices, in a stable order.
+std::vector<DeviceProfile> builtin_devices();
+
+}  // namespace hbosim::soc

@@ -1,0 +1,181 @@
+// Tests for Algorithm 1's heuristic allocation (lines 2-22).
+
+#include <gtest/gtest.h>
+
+#include "hbosim/ai/profiler.hpp"
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/rng.hpp"
+#include "hbosim/core/allocation.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::core {
+namespace {
+
+using soc::Delegate;
+
+TEST(QuotaRounding, PaperExampleFromSectionIvD) {
+  // c = [0.4, 0.1, 0.5] with M = 3 -> C = [1, 0, 2]:
+  // floors are [1, 0, 1]; the one leftover task goes to the resource with
+  // the highest usage (0.5).
+  const auto quotas =
+      HeuristicAllocator::round_quotas(std::vector<double>{0.4, 0.1, 0.5}, 3);
+  EXPECT_EQ(quotas, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(QuotaRounding, ExactFractionsNeedNoRemainder) {
+  const auto quotas =
+      HeuristicAllocator::round_quotas(std::vector<double>{0.5, 0.25, 0.25}, 4);
+  EXPECT_EQ(quotas, (std::vector<int>{2, 1, 1}));
+}
+
+TEST(QuotaRounding, RemainderFollowsNonIncreasingUsageOrder) {
+  // floors = [0,0,0], r = 2 -> top-2 usages get one task each.
+  const auto quotas =
+      HeuristicAllocator::round_quotas(std::vector<double>{0.45, 0.1, 0.45}, 2);
+  EXPECT_EQ(quotas[1], 0);
+  EXPECT_EQ(quotas[0] + quotas[2], 2);
+}
+
+TEST(QuotaRounding, TiesBreakByResourceIndexForDeterminism) {
+  const auto q1 = HeuristicAllocator::round_quotas(
+      std::vector<double>{1.0 / 3, 1.0 / 3, 1.0 / 3}, 1);
+  EXPECT_EQ(q1, (std::vector<int>{1, 0, 0}));
+}
+
+TEST(QuotaRounding, RejectsInvalidUsageVectors) {
+  EXPECT_THROW(HeuristicAllocator::round_quotas(
+                   std::vector<double>{0.5, 0.5}, 3),
+               hbosim::Error);  // wrong width
+  EXPECT_THROW(HeuristicAllocator::round_quotas(
+                   std::vector<double>{0.7, 0.2, 0.2}, 3),
+               hbosim::Error);  // sum != 1
+}
+
+class QuotaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuotaProperty, QuotasAlwaysSumToTaskCount) {
+  Rng rng(300 + GetParam());
+  for (int rep = 0; rep < 300; ++rep) {
+    const auto usage = rng.dirichlet(3);
+    const std::size_t m = 1 + rng.uniform_index(12);
+    const auto quotas = HeuristicAllocator::round_quotas(usage, m);
+    int total = 0;
+    for (int q : quotas) {
+      EXPECT_GE(q, 0);
+      total += q;
+    }
+    EXPECT_EQ(total, static_cast<int>(m));
+    // No resource may exceed floor+1 beyond its fractional share.
+    for (std::size_t i = 0; i < quotas.size(); ++i)
+      EXPECT_LE(quotas[i],
+                static_cast<int>(usage[i] * static_cast<double>(m)) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuotaProperty, ::testing::Range(0, 4));
+
+struct AllocatorFixture {
+  soc::DeviceProfile device = soc::pixel7();
+  std::vector<std::string> models;
+  ai::ProfileTable profiles;
+  std::unique_ptr<HeuristicAllocator> allocator;
+
+  explicit AllocatorFixture(std::vector<std::string> m)
+      : models(std::move(m)),
+        profiles(ai::profile_models(device, models)) {
+    allocator = std::make_unique<HeuristicAllocator>(profiles, models);
+  }
+};
+
+TEST(HeuristicAllocator, RespectsQuotasExactly) {
+  AllocatorFixture f({"mnist", "mobilenetDetv1", "model-metadata",
+                      "model-metadata", "mobilenet-v1",
+                      "efficientclass-lite0"});
+  const auto result =
+      f.allocator->allocate(std::vector<double>{0.5, 0.0, 0.5});
+  ASSERT_EQ(result.delegates.size(), 6u);
+  int cpu = 0;
+  int nnapi = 0;
+  for (Delegate d : result.delegates) {
+    cpu += d == Delegate::Cpu;
+    nnapi += d == Delegate::Nnapi;
+  }
+  EXPECT_EQ(cpu, 3);
+  EXPECT_EQ(nnapi, 3);
+  EXPECT_TRUE(result.fallback_tasks.empty());
+}
+
+TEST(HeuristicAllocator, FastestPairsGetFirstPick) {
+  // With quota for exactly one NNAPI slot, the task with the lowest NNAPI
+  // isolation latency among all (task, NNAPI) queue entries must win it.
+  AllocatorFixture f({"mobilenetDetv1", "inception-v1-q"});
+  // inception NNAPI = 8.7 beats mobilenetDet NNAPI = 18.1.
+  const auto result =
+      f.allocator->allocate(std::vector<double>{0.5, 0.0, 0.5});
+  EXPECT_EQ(result.delegates[1], Delegate::Nnapi);  // inception
+  EXPECT_EQ(result.delegates[0], Delegate::Cpu);
+}
+
+TEST(HeuristicAllocator, AllOnOneResource) {
+  AllocatorFixture f({"mnist", "mobilenet-v1", "model-metadata"});
+  const auto result =
+      f.allocator->allocate(std::vector<double>{1.0, 0.0, 0.0});
+  for (Delegate d : result.delegates) EXPECT_EQ(d, Delegate::Cpu);
+}
+
+TEST(HeuristicAllocator, IncompatibleQuotaFallsBackGracefully) {
+  // deeplabv3 and deconv-munet have no NNAPI path on the Pixel 7, yet the
+  // usage vector demands everything on NNAPI. The paper's pseudo-code
+  // would deadlock; the implementation must still produce a total,
+  // compatible assignment and report the fallback.
+  AllocatorFixture f({"deeplabv3", "deconv-munet"});
+  const auto result =
+      f.allocator->allocate(std::vector<double>{0.0, 0.0, 1.0});
+  ASSERT_EQ(result.delegates.size(), 2u);
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_TRUE(f.device.supports(f.models[t], result.delegates[t]));
+  }
+  EXPECT_EQ(result.fallback_tasks.size(), 2u);
+}
+
+TEST(HeuristicAllocator, MixedCompatibilityUsesQuotaWherePossible) {
+  AllocatorFixture f({"deeplabv3", "mobilenetDetv1"});
+  const auto result =
+      f.allocator->allocate(std::vector<double>{0.5, 0.0, 0.5});
+  // mobilenetDetv1 (NNAPI-capable, 18.1ms) takes the NNAPI slot;
+  // deeplabv3 lands on the CPU.
+  EXPECT_EQ(result.delegates[0], Delegate::Cpu);
+  EXPECT_EQ(result.delegates[1], Delegate::Nnapi);
+}
+
+class AllocatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorProperty, AlwaysTotalAndCompatible) {
+  const soc::DeviceProfile device = soc::pixel7();
+  const auto names = device.model_names();
+  Rng rng(900 + GetParam());
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<std::string> models;
+    const std::size_t m = 1 + rng.uniform_index(10);
+    for (std::size_t i = 0; i < m; ++i)
+      models.push_back(names[rng.uniform_index(names.size())]);
+    const ai::ProfileTable profiles = ai::profile_models(device, models);
+    HeuristicAllocator allocator(profiles, models);
+    const auto usage = rng.dirichlet(3);
+    const auto result = allocator.allocate(usage);
+    ASSERT_EQ(result.delegates.size(), m);
+    for (std::size_t t = 0; t < m; ++t)
+      EXPECT_TRUE(device.supports(models[t], result.delegates[t]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty, ::testing::Range(0, 3));
+
+TEST(HeuristicAllocator, EmptyTasksetRejected) {
+  const soc::DeviceProfile device = soc::pixel7();
+  const ai::ProfileTable profiles = ai::profile_models(device, {"mnist"});
+  EXPECT_THROW(HeuristicAllocator(profiles, {}), hbosim::Error);
+}
+
+}  // namespace
+}  // namespace hbosim::core

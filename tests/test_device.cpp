@@ -1,0 +1,192 @@
+// Tests for device profiles: Table I fidelity, NA handling, and the
+// render-load model.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::soc {
+namespace {
+
+TEST(Delegates, NamesAndCodes) {
+  EXPECT_STREQ(delegate_name(Delegate::Cpu), "CPU");
+  EXPECT_STREQ(delegate_name(Delegate::Gpu), "GPU");
+  EXPECT_STREQ(delegate_name(Delegate::Nnapi), "NNAPI");
+  EXPECT_EQ(delegate_code(Delegate::Cpu), 'C');
+  EXPECT_EQ(delegate_code(Delegate::Gpu), 'G');
+  EXPECT_EQ(delegate_code(Delegate::Nnapi), 'N');
+  EXPECT_EQ(delegate_from_index(2), Delegate::Nnapi);
+  EXPECT_THROW(delegate_from_index(3), hbosim::Error);
+  EXPECT_THROW(delegate_from_index(-1), hbosim::Error);
+}
+
+// --- Table I fidelity: every (device, model, delegate) cell ----------------
+
+struct TableOneCase {
+  const char* device;
+  const char* model;
+  Delegate delegate;
+  double expected_ms;  // < 0 means NA
+};
+
+class TableOneTest : public ::testing::TestWithParam<TableOneCase> {};
+
+DeviceProfile device_by_name(const std::string& name) {
+  for (DeviceProfile& d : builtin_devices()) {
+    if (d.name() == name) return d;
+  }
+  throw hbosim::Error("no such device: " + name);
+}
+
+TEST_P(TableOneTest, MatchesPaperValue) {
+  const TableOneCase& c = GetParam();
+  const DeviceProfile device = device_by_name(c.device);
+  if (c.expected_ms < 0) {
+    EXPECT_FALSE(device.supports(c.model, c.delegate));
+    EXPECT_THROW(device.isolation_ms(c.model, c.delegate), hbosim::Error);
+  } else {
+    ASSERT_TRUE(device.supports(c.model, c.delegate));
+    EXPECT_DOUBLE_EQ(device.isolation_ms(c.model, c.delegate), c.expected_ms);
+  }
+}
+
+constexpr Delegate G = Delegate::Gpu;
+constexpr Delegate N = Delegate::Nnapi;
+constexpr Delegate C = Delegate::Cpu;
+
+INSTANTIATE_TEST_SUITE_P(
+    GalaxyS22, TableOneTest,
+    ::testing::Values(
+        TableOneCase{"Galaxy S22", "deconv-munet", G, 18.0},
+        TableOneCase{"Galaxy S22", "deconv-munet", N, 33.0},
+        TableOneCase{"Galaxy S22", "deconv-munet", C, 58.0},
+        TableOneCase{"Galaxy S22", "deeplabv3", G, 45.0},
+        TableOneCase{"Galaxy S22", "deeplabv3", N, 27.0},
+        TableOneCase{"Galaxy S22", "deeplabv3", C, 46.0},
+        TableOneCase{"Galaxy S22", "efficientdet-lite", G, 72.0},
+        TableOneCase{"Galaxy S22", "efficientdet-lite", N, -1.0},
+        TableOneCase{"Galaxy S22", "efficientdet-lite", C, 68.0},
+        TableOneCase{"Galaxy S22", "mobilenetDetv1", N, 13.0},
+        TableOneCase{"Galaxy S22", "efficientclass-lite0", N, 10.0},
+        TableOneCase{"Galaxy S22", "inception-v1-q", N, 8.0},
+        TableOneCase{"Galaxy S22", "mobilenet-v1", N, 9.5},
+        TableOneCase{"Galaxy S22", "model-metadata", G, 12.7},
+        TableOneCase{"Galaxy S22", "model-metadata", N, 18.0},
+        TableOneCase{"Galaxy S22", "model-metadata", C, 14.0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Pixel7, TableOneTest,
+    ::testing::Values(
+        TableOneCase{"Pixel 7", "deconv-munet", G, 17.9},
+        TableOneCase{"Pixel 7", "deconv-munet", N, -1.0},
+        TableOneCase{"Pixel 7", "deconv-munet", C, 65.9},
+        TableOneCase{"Pixel 7", "deeplabv3", G, 136.6},
+        TableOneCase{"Pixel 7", "deeplabv3", N, -1.0},
+        TableOneCase{"Pixel 7", "deeplabv3", C, 110.1},
+        TableOneCase{"Pixel 7", "efficientdet-lite", N, -1.0},
+        TableOneCase{"Pixel 7", "mobilenetDetv1", G, 56.5},
+        TableOneCase{"Pixel 7", "mobilenetDetv1", N, 18.1},
+        TableOneCase{"Pixel 7", "mobilenetDetv1", C, 48.9},
+        TableOneCase{"Pixel 7", "efficientclass-lite0", G, 43.37},
+        TableOneCase{"Pixel 7", "inception-v1-q", N, 8.7},
+        TableOneCase{"Pixel 7", "mobilenet-v1", N, 10.2},
+        TableOneCase{"Pixel 7", "model-metadata", G, 24.6},
+        TableOneCase{"Pixel 7", "model-metadata", N, 40.7},
+        TableOneCase{"Pixel 7", "model-metadata", C, 25.5}));
+
+// --- best_delegate ----------------------------------------------------------
+
+TEST(DeviceProfile, BestDelegateMatchesTableWinners) {
+  const DeviceProfile p7 = pixel7();
+  EXPECT_EQ(p7.best_delegate("deconv-munet"), Delegate::Gpu);
+  EXPECT_EQ(p7.best_delegate("deeplabv3"), Delegate::Cpu);
+  EXPECT_EQ(p7.best_delegate("mobilenetDetv1"), Delegate::Nnapi);
+  EXPECT_EQ(p7.best_delegate("model-metadata"), Delegate::Gpu);
+  const DeviceProfile s22 = galaxy_s22();
+  EXPECT_EQ(s22.best_delegate("deeplabv3"), Delegate::Nnapi);
+  EXPECT_EQ(s22.best_delegate("efficientdet-lite"), Delegate::Cpu);
+}
+
+TEST(DeviceProfile, UnknownModelThrows) {
+  const DeviceProfile p7 = pixel7();
+  EXPECT_FALSE(p7.has_model("nonexistent"));
+  EXPECT_THROW(p7.model("nonexistent"), hbosim::Error);
+  EXPECT_THROW(p7.isolation_ms("nonexistent", Delegate::Cpu), hbosim::Error);
+}
+
+TEST(DeviceProfile, SetModelValidatesInput) {
+  DeviceProfile d("test", 4.0, RenderLoadModel{}, 2.0, 3.0);
+  ModelLatency bad;
+  bad.cpu_ms = 0.0;
+  EXPECT_THROW(d.set_model("m", bad), hbosim::Error);
+  ModelLatency tiny;
+  tiny.cpu_ms = 5.0;
+  tiny.gpu_ms = 1.0;  // below the 2 ms dispatch overhead
+  EXPECT_THROW(d.set_model("m", tiny), hbosim::Error);
+  ModelLatency ok;
+  ok.cpu_ms = 5.0;
+  EXPECT_NO_THROW(d.set_model("m", ok));
+  EXPECT_TRUE(d.has_model("m"));
+}
+
+// --- render-load model -------------------------------------------------------
+
+TEST(RenderLoadModel, GpuLoadIsMonotoneAndBounded) {
+  const RenderLoadModel r = pixel7().render();
+  double prev = -1.0;
+  for (double tris = 0.0; tris <= 3e6; tris += 1e5) {
+    const double u = r.gpu_load(tris);
+    EXPECT_GE(u, prev);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, r.max_gpu_load);
+    prev = u;
+  }
+  EXPECT_DOUBLE_EQ(r.gpu_load(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.gpu_load(1e9), r.max_gpu_load);
+}
+
+TEST(RenderLoadModel, GpuLoadIsConvexBelowSaturation) {
+  // The power-law knee: u(0.5 * sat) < 0.5 * u(sat).
+  const RenderLoadModel r = pixel7().render();
+  EXPECT_LT(r.gpu_load(0.5 * r.tri_scale), 0.5 * r.gpu_load(r.tri_scale));
+}
+
+TEST(RenderLoadModel, CpuLoadScalesWithObjectsAndTrianglesWithCap) {
+  const RenderLoadModel r = pixel7().render();
+  EXPECT_GT(r.cpu_load_cores(10, 1e6), r.cpu_load_cores(1, 1e5));
+  EXPECT_LE(r.cpu_load_cores(1000, 1e9), r.max_cpu_load_cores);
+}
+
+TEST(SocRuntime, RenderLoadReachesResources) {
+  des::Simulator sim;
+  const DeviceProfile device = pixel7();
+  SocRuntime soc(sim, device);
+  EXPECT_DOUBLE_EQ(soc.gpu().background_utilization(), 0.0);
+  soc.set_render_load(1e6, 9);
+  EXPECT_NEAR(soc.gpu().background_utilization(),
+              device.render().gpu_load(1e6), 1e-12);
+  EXPECT_GT(soc.cpu().background_utilization(), 0.0);
+  soc.set_render_load(0.0, 0);
+  EXPECT_DOUBLE_EQ(soc.gpu().background_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(soc.cpu().background_utilization(), 0.0);
+}
+
+TEST(BuiltinDevices, AllProvideTheFullRegistry) {
+  for (const DeviceProfile& d : builtin_devices()) {
+    EXPECT_EQ(d.model_names().size(), 9u) << d.name();
+    EXPECT_GT(d.cpu_cores(), 0.0);
+  }
+}
+
+TEST(DeviceProfile, CommOverheadsPerDelegate) {
+  const DeviceProfile p7 = pixel7();
+  EXPECT_DOUBLE_EQ(p7.comm_ms(Delegate::Cpu), 0.0);
+  EXPECT_GT(p7.comm_ms(Delegate::Gpu), 0.0);
+  EXPECT_GT(p7.comm_ms(Delegate::Nnapi), p7.comm_ms(Delegate::Gpu));
+}
+
+}  // namespace
+}  // namespace hbosim::soc

@@ -1,0 +1,128 @@
+// Tests for the edge module: LRU cache, decimation service, network model.
+
+#include <gtest/gtest.h>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/edge/decimation_service.hpp"
+
+namespace hbosim::edge {
+namespace {
+
+TEST(LruCache, HitMissAndRecency) {
+  LruCache cache(2);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh "a"
+  cache.put("c", 3);                   // evicts "b" (least recent)
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, OverwriteUpdatesValueWithoutEviction) {
+  LruCache cache(2);
+  cache.put("a", 1);
+  cache.put("a", 9);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get("a"), 9u);
+}
+
+TEST(LruCache, ZeroCapacityThrows) {
+  EXPECT_THROW(LruCache{0}, hbosim::Error);
+}
+
+TEST(NetworkModel, TransferTimeHasRttFloorAndThroughputTerm) {
+  NetworkModel net;
+  net.rtt_ms = 20.0;
+  net.mbit_per_s = 80.0;
+  EXPECT_NEAR(net.transfer_seconds(0), 0.020, 1e-12);
+  // 1 MB = 8 Mbit at 80 Mbit/s = 0.1 s, plus RTT.
+  EXPECT_NEAR(net.transfer_seconds(1000000), 0.120, 1e-9);
+}
+
+render::MeshAsset test_asset() {
+  return render::MeshAsset(
+      "bike", 178552, render::synthesize_degradation_params("bike", 178552));
+}
+
+TEST(DecimationService, QuantizesRatiosUpward) {
+  DecimationService svc;
+  const int levels = svc.config().ratio_levels;
+  EXPECT_DOUBLE_EQ(svc.quantize_ratio(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(svc.quantize_ratio(1.0), 1.0);
+  const double q = svc.quantize_ratio(0.501);
+  EXPECT_GE(q, 0.501);  // never serves a worse version than asked
+  EXPECT_LE(q, 0.501 + 1.0 / levels);
+  EXPECT_THROW(svc.quantize_ratio(1.5), hbosim::Error);
+}
+
+TEST(DecimationService, MissThenHitOnSameLevel) {
+  DecimationService svc;
+  const render::MeshAsset asset = test_asset();
+  const DecimationResult first = svc.request(asset, 0.5);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.delay_s, 0.0);
+  EXPECT_EQ(first.triangles, asset.triangles_at(first.served_ratio));
+
+  const DecimationResult second = svc.request(asset, 0.5);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_DOUBLE_EQ(second.delay_s, 0.0);
+  EXPECT_EQ(second.triangles, first.triangles);
+  EXPECT_EQ(svc.cache_hits(), 1u);
+  EXPECT_EQ(svc.cache_misses(), 1u);
+}
+
+TEST(DecimationService, NearbyRatiosShareAQuantizedVersion) {
+  DecimationService svc;
+  const render::MeshAsset asset = test_asset();
+  const DecimationResult a = svc.request(asset, 0.500);
+  const DecimationResult b = svc.request(asset, 0.499);
+  EXPECT_DOUBLE_EQ(a.served_ratio, b.served_ratio);
+  EXPECT_TRUE(b.cache_hit);
+}
+
+TEST(DecimationService, BiggerPayloadsTakeLonger) {
+  DecimationService svc;
+  const render::MeshAsset asset = test_asset();
+  const double small = svc.request(asset, 0.1).delay_s;
+  const double large = svc.request(asset, 1.0).delay_s;
+  EXPECT_GT(large, small);
+}
+
+TEST(DecimationService, DistinctAssetsDoNotCollide) {
+  DecimationService svc;
+  const render::MeshAsset bike = test_asset();
+  const render::MeshAsset plane(
+      "plane", 146803, render::synthesize_degradation_params("plane", 146803));
+  svc.request(bike, 0.5);
+  const DecimationResult r = svc.request(plane, 0.5);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.triangles, plane.triangles_at(r.served_ratio));
+}
+
+TEST(DecimationService, ParameterTrainingIsDeterministicAndValid) {
+  DecimationService svc;
+  const auto p1 = svc.train_parameters("bike", 178552);
+  const auto p2 = svc.train_parameters("bike", 178552);
+  EXPECT_TRUE(p1.valid());
+  EXPECT_DOUBLE_EQ(p1.a, p2.a);
+  EXPECT_DOUBLE_EQ(p1.d, p2.d);
+}
+
+TEST(DecimationService, EvictionForcesRefetch) {
+  DecimationServiceConfig cfg;
+  cfg.cache_capacity = 1;
+  DecimationService svc(cfg);
+  const render::MeshAsset asset = test_asset();
+  svc.request(asset, 0.25);
+  svc.request(asset, 0.75);  // evicts the 0.25 version
+  const DecimationResult again = svc.request(asset, 0.25);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+}  // namespace
+}  // namespace hbosim::edge

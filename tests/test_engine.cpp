@@ -1,0 +1,180 @@
+// Tests for the inference engine: isolation timing, delegate switching,
+// task lifecycle, measurement windows.
+
+#include <gtest/gtest.h>
+
+#include "hbosim/ai/engine.hpp"
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/types.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::ai {
+namespace {
+
+EngineConfig quiet() {
+  EngineConfig cfg;
+  cfg.latency_noise = 0.0;  // deterministic latencies for exact asserts
+  return cfg;
+}
+
+struct Fixture {
+  soc::DeviceProfile device = soc::pixel7();
+  des::Simulator sim;
+  soc::SocRuntime soc{sim, device};
+  InferenceEngine engine{sim, soc, quiet()};
+};
+
+TEST(Engine, IsolationLatencyMatchesTableOnEveryDelegate) {
+  for (auto [delegate, expected] :
+       {std::pair{soc::Delegate::Gpu, 24.6},
+        std::pair{soc::Delegate::Nnapi, 40.7},
+        std::pair{soc::Delegate::Cpu, 25.5}}) {
+    Fixture f;
+    const TaskId id = f.engine.add_task("model-metadata", "gd", delegate);
+    f.engine.start();
+    f.sim.run_until(2.0);
+    EXPECT_NEAR(to_ms(f.engine.window_mean_latency_s(id)), expected, 1e-6);
+    EXPECT_GT(f.engine.window_count(id), 10u);
+  }
+}
+
+TEST(Engine, UnknownModelOrUnsupportedDelegateThrows) {
+  Fixture f;
+  EXPECT_THROW(f.engine.add_task("bogus", "x", soc::Delegate::Cpu),
+               hbosim::Error);
+  EXPECT_THROW(f.engine.add_task("deeplabv3", "x", soc::Delegate::Nnapi),
+               hbosim::Error);
+}
+
+TEST(Engine, DelegateSwitchAppliesToNextInference) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("model-metadata", "gd",
+                                      soc::Delegate::Gpu);
+  f.engine.start();
+  f.sim.run_until(1.0);
+  f.engine.set_delegate(id, soc::Delegate::Cpu);
+  EXPECT_EQ(f.engine.task(id).delegate, soc::Delegate::Cpu);
+  f.sim.run_until(1.2);  // let in-flight work drain
+  f.engine.reset_window();
+  f.sim.run_until(2.2);
+  EXPECT_NEAR(to_ms(f.engine.window_mean_latency_s(id)), 25.5, 1e-6);
+}
+
+TEST(Engine, SwitchToUnsupportedDelegateThrows) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("deeplabv3", "is", soc::Delegate::Cpu);
+  EXPECT_THROW(f.engine.set_delegate(id, soc::Delegate::Nnapi), hbosim::Error);
+}
+
+TEST(Engine, TwoGpuTasksContendAndSlowDown) {
+  Fixture f;
+  const TaskId a = f.engine.add_task("model-metadata", "gd1",
+                                     soc::Delegate::Gpu);
+  f.engine.add_task("model-metadata", "gd2", soc::Delegate::Gpu);
+  f.engine.start();
+  f.sim.run_until(3.0);
+  EXPECT_GT(to_ms(f.engine.window_mean_latency_s(a)), 24.6 * 1.1);
+}
+
+TEST(Engine, RenderLoadInflatesGpuLatency) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("model-metadata", "gd",
+                                      soc::Delegate::Gpu);
+  f.engine.start();
+  f.sim.run_until(1.0);
+  const double before = to_ms(f.engine.window_mean_latency_s(id));
+  f.soc.gpu().set_background_utilization(0.5);
+  f.engine.reset_window();
+  f.sim.run_until(2.0);
+  const double after = to_ms(f.engine.window_mean_latency_s(id));
+  // Only the GPU compute phase (22.6 of 24.6 ms) dilates by 2x;
+  // inferences straddling the load change blur the window mean slightly.
+  EXPECT_NEAR(after, before + 22.6, 2.5);
+}
+
+TEST(Engine, RemoveTaskCancelsInFlightWork) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("deeplabv3", "is", soc::Delegate::Cpu);
+  f.engine.start();
+  f.sim.run_until(0.05);  // mid-inference (isolation 110.1 ms)
+  f.engine.remove_task(id);
+  EXPECT_EQ(f.engine.task_count(), 0u);
+  EXPECT_NO_THROW(f.sim.run_until(1.0));  // no stale callbacks fire
+  EXPECT_THROW(f.engine.task(id), hbosim::Error);
+}
+
+TEST(Engine, AddTaskWhileRunningJoinsTheSystem) {
+  Fixture f;
+  f.engine.add_task("mnist", "d1", soc::Delegate::Cpu);
+  f.engine.start();
+  f.sim.run_until(1.0);
+  const TaskId late = f.engine.add_task("mnist", "d2", soc::Delegate::Cpu);
+  f.sim.run_until(2.0);
+  EXPECT_GT(f.engine.window_count(late), 0u);
+}
+
+TEST(Engine, ObserverSeesEveryCompletion) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("mnist", "d", soc::Delegate::Gpu);
+  std::size_t observed = 0;
+  f.engine.set_observer([&](const AiTask& task, double latency) {
+    EXPECT_EQ(task.id, id);
+    EXPECT_GT(latency, 0.0);
+    ++observed;
+  });
+  f.engine.start();
+  f.sim.run_until(1.0);
+  EXPECT_EQ(observed, f.engine.window_count(id));
+  EXPECT_GT(observed, 0u);
+}
+
+TEST(Engine, ObserverMayRemoveTheTask) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("mnist", "d", soc::Delegate::Gpu);
+  f.engine.set_observer(
+      [&](const AiTask& task, double) { f.engine.remove_task(task.id); });
+  f.engine.start();
+  EXPECT_NO_THROW(f.sim.run_until(1.0));
+  EXPECT_THROW(f.engine.task(id), hbosim::Error);
+}
+
+TEST(Engine, WindowResetClearsCountsButKeepsLastLatency) {
+  Fixture f;
+  const TaskId id = f.engine.add_task("mnist", "d", soc::Delegate::Gpu);
+  f.engine.start();
+  f.sim.run_until(0.5);
+  EXPECT_GT(f.engine.window_count(id), 0u);
+  const double last = f.engine.last_latency_s(id);
+  f.engine.reset_window();
+  EXPECT_EQ(f.engine.window_count(id), 0u);
+  EXPECT_DOUBLE_EQ(f.engine.last_latency_s(id), last);
+}
+
+TEST(Engine, NoiseIsReproducibleAcrossSeeds) {
+  auto run = [](std::uint64_t seed) {
+    soc::DeviceProfile device = soc::pixel7();
+    des::Simulator sim;
+    soc::SocRuntime soc(sim, device);
+    EngineConfig cfg;
+    cfg.latency_noise = 0.05;
+    cfg.seed = seed;
+    InferenceEngine engine(sim, soc, cfg);
+    const TaskId id = engine.add_task("mnist", "d", soc::Delegate::Gpu);
+    engine.start();
+    sim.run_until(1.0);
+    return engine.window_mean_latency_s(id);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(Engine, TaskIdsAreOrderedAndStable) {
+  Fixture f;
+  const TaskId a = f.engine.add_task("mnist", "a", soc::Delegate::Cpu);
+  const TaskId b = f.engine.add_task("mnist", "b", soc::Delegate::Cpu);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(f.engine.task_ids(), (std::vector<TaskId>{a, b}));
+}
+
+}  // namespace
+}  // namespace hbosim::ai

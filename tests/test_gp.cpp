@@ -1,0 +1,160 @@
+// Tests for kernels and Gaussian-process regression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hbosim/bo/gp.hpp"
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/rng.hpp"
+
+namespace hbosim::bo {
+namespace {
+
+TEST(Matern52Kernel, EquationSevenKnownValues) {
+  const Matern52 k(1.0, 1.0);
+  const std::vector<double> a = {0.0};
+  // k(0) = sigma_f^2.
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);
+  // r = 1, l = 1: (1 + sqrt5 + 5/3) exp(-sqrt5).
+  const std::vector<double> b = {1.0};
+  const double s5 = std::sqrt(5.0);
+  EXPECT_NEAR(k(a, b), (1.0 + s5 + 5.0 / 3.0) * std::exp(-s5), 1e-12);
+}
+
+TEST(Matern52Kernel, SymmetricAndDecaying) {
+  const Matern52 k(1.0, 2.0);
+  Rng rng(3);
+  std::vector<double> prev_val = {k.prior_variance() + 1.0};
+  double prev = k.prior_variance() + 1.0;
+  for (double r = 0.0; r < 5.0; r += 0.25) {
+    const std::vector<double> a = {0.0, 0.0};
+    const std::vector<double> b = {r, 0.0};
+    EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+    const double v = k(a, b);
+    EXPECT_LT(v, prev);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(k.prior_variance(), 4.0);
+}
+
+TEST(Kernels, LengthScaleControlsWidth) {
+  const Matern52 narrow(0.5), wide(2.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_LT(narrow(a, b), wide(a, b));
+}
+
+TEST(Kernels, InvalidParamsThrow) {
+  EXPECT_THROW(Matern52(0.0, 1.0), hbosim::Error);
+  EXPECT_THROW(Matern52(1.0, 0.0), hbosim::Error);
+  EXPECT_THROW(Rbf(0.0), hbosim::Error);
+  EXPECT_THROW(Matern32(-1.0), hbosim::Error);
+}
+
+TEST(Kernels, RbfAndMatern32Forms) {
+  const Rbf rbf(1.0, 1.0);
+  const Matern32 m32(1.0, 1.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_NEAR(rbf(a, b), std::exp(-0.5), 1e-12);
+  const double s3 = std::sqrt(3.0);
+  EXPECT_NEAR(m32(a, b), (1.0 + s3) * std::exp(-s3), 1e-12);
+}
+
+TEST(Kernels, CloneIsEquivalent) {
+  const Matern52 k(0.7, 1.3);
+  const auto c = k.clone();
+  const std::vector<double> a = {0.1, 0.2};
+  const std::vector<double> b = {0.4, 0.9};
+  EXPECT_DOUBLE_EQ(k(a, b), (*c)(a, b));
+}
+
+GpConfig tight() {
+  GpConfig cfg;
+  cfg.noise_variance = 1e-10;
+  return cfg;
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPointsWithZeroNoise) {
+  GaussianProcess gp(std::make_unique<Matern52>(), tight());
+  const std::vector<std::vector<double>> x = {{0.0}, {0.5}, {1.0}};
+  const std::vector<double> y = {1.0, -1.0, 2.0};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 1e-5);
+    EXPECT_NEAR(p.variance, 0.0, 1e-5);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(std::make_unique<Matern52>(), tight());
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  const auto near = gp.predict(std::vector<double>{0.5});
+  const auto far = gp.predict(std::vector<double>{10.0});
+  EXPECT_LT(near.variance, far.variance);
+  // Far from all data the posterior reverts to the prior.
+  EXPECT_NEAR(far.variance, 1.0, 1e-3);
+  EXPECT_NEAR(far.mean, 0.5, 1e-3);  // the (centered) data mean
+}
+
+TEST(GaussianProcess, PredictionIsSmoothBetweenPoints) {
+  GaussianProcess gp(std::make_unique<Matern52>(), tight());
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  const auto mid = gp.predict(std::vector<double>{0.5});
+  EXPECT_GT(mid.mean, 0.1);
+  EXPECT_LT(mid.mean, 0.9);
+}
+
+TEST(GaussianProcess, NoiseSmoothsInterpolation) {
+  GpConfig noisy;
+  noisy.noise_variance = 0.5;
+  GaussianProcess gp(std::make_unique<Matern52>(), noisy);
+  gp.fit({{0.0}, {1e-6}}, {1.0, -1.0});  // conflicting near-duplicates
+  const auto p = gp.predict(std::vector<double>{0.0});
+  EXPECT_NEAR(p.mean, 0.0, 0.5);  // averages the conflict
+}
+
+TEST(GaussianProcess, LogMarginalLikelihoodPrefersTheTruth) {
+  // Data drawn from a smooth function: a GP with matched length scale
+  // should score higher than a wildly mismatched one.
+  Rng rng(17);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = i / 20.0;
+    x.push_back({t});
+    y.push_back(std::sin(2.0 * t));
+  }
+  GpConfig cfg;
+  cfg.noise_variance = 1e-6;
+  GaussianProcess good(std::make_unique<Matern52>(1.0), cfg);
+  GaussianProcess bad(std::make_unique<Matern52>(0.001), cfg);
+  good.fit(x, y);
+  bad.fit(x, y);
+  EXPECT_GT(good.log_marginal_likelihood(), bad.log_marginal_likelihood());
+}
+
+TEST(GaussianProcess, ValidatesInputs) {
+  GaussianProcess gp(std::make_unique<Matern52>());
+  EXPECT_THROW(gp.fit({}, {}), hbosim::Error);
+  EXPECT_THROW(gp.fit({{0.0}}, {1.0, 2.0}), hbosim::Error);
+  EXPECT_THROW(gp.fit({{0.0}, {0.0, 1.0}}, {1.0, 2.0}), hbosim::Error);
+  EXPECT_THROW(gp.predict(std::vector<double>{0.0}), hbosim::Error);
+  gp.fit({{0.0, 0.0}}, {1.0});
+  EXPECT_THROW(gp.predict(std::vector<double>{0.0}), hbosim::Error);
+  EXPECT_THROW(GaussianProcess(nullptr), hbosim::Error);
+}
+
+TEST(GaussianProcess, RefitReplacesData) {
+  GaussianProcess gp(std::make_unique<Matern52>(), tight());
+  gp.fit({{0.0}}, {5.0});
+  gp.fit({{0.0}}, {-5.0});
+  EXPECT_NEAR(gp.predict(std::vector<double>{0.0}).mean, -5.0, 1e-6);
+  EXPECT_EQ(gp.observation_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hbosim::bo

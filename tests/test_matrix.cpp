@@ -1,0 +1,124 @@
+// Unit tests for the dense matrix and Cholesky solver used by the GP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/matrix.hpp"
+#include "hbosim/common/rng.hpp"
+
+namespace hbosim {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  m(0, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(Matrix, MatvecKnownValues) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const std::vector<double> v = {1.0, 0.0, -1.0};
+  const auto r = m.matvec(v);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], -2.0);
+  EXPECT_DOUBLE_EQ(r[1], -2.0);
+
+  const std::vector<double> w = {1.0, 1.0};
+  const auto t = m.matvec_transposed(w);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 5.0);
+  EXPECT_DOUBLE_EQ(t[1], 7.0);
+  EXPECT_DOUBLE_EQ(t[2], 9.0);
+}
+
+TEST(Matrix, MatvecDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.matvec(std::vector<double>{1.0, 2.0}), Error);
+  EXPECT_THROW(m.matvec_transposed(std::vector<double>{1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Cholesky, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  Cholesky chol(a);
+  EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol.lower()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(chol.log_det(), std::log(8.0), 1e-12);  // det = 4*3-4 = 8
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  // x = (1, -1) -> b = A x = (2, -1).
+  const auto x = Cholesky(a).solve(std::vector<double>{2.0, -1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  Rng rng(55);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(8);
+    // A = B B^T + n*I is SPD.
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+        a(i, j) = acc + (i == j ? static_cast<double>(n) : 0.0);
+      }
+    }
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.normal();
+    const auto rhs = a.matvec(x);
+    const auto solved = Cholesky(a).solve(rhs);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(solved[i], x[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, TriangularSolvesComposeToFullSolve) {
+  Matrix a(2, 2);
+  a(0, 0) = 5; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 3;
+  Cholesky chol(a);
+  const std::vector<double> b = {1.0, 2.0};
+  const auto y = chol.solve_lower(b);
+  const auto x = chol.solve_upper(y);
+  const auto direct = chol.solve(b);
+  EXPECT_NEAR(x[0], direct[0], 1e-14);
+  EXPECT_NEAR(x[1], direct[1], 1e-14);
+}
+
+TEST(Cholesky, NotPositiveDefiniteThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // indefinite
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+TEST(Cholesky, JitterRescuesSemidefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 1;  // rank 1
+  EXPECT_THROW(Cholesky{a}, Error);
+  EXPECT_NO_THROW(Cholesky(a, 1e-8));
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(Cholesky{a}, Error);
+}
+
+}  // namespace
+}  // namespace hbosim

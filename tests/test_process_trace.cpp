@@ -1,0 +1,128 @@
+// Unit tests for PeriodicProcess and TraceRecorder.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/des/process.hpp"
+#include "hbosim/des/trace.hpp"
+
+namespace hbosim::des {
+namespace {
+
+TEST(PeriodicProcess, TicksAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicProcess p(sim, 1.0, [&] { ++ticks; });
+  p.start();
+  sim.run_until(5.5);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicProcess, InitialDelayOverridesFirstTick) {
+  Simulator sim;
+  std::vector<double> at;
+  PeriodicProcess p(sim, 2.0, [&] { at.push_back(sim.now()); });
+  p.start(0.5);
+  sim.run_until(5.0);
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_DOUBLE_EQ(at[0], 0.5);
+  EXPECT_DOUBLE_EQ(at[1], 2.5);
+  EXPECT_DOUBLE_EQ(at[2], 4.5);
+}
+
+TEST(PeriodicProcess, StopHaltsTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicProcess p(sim, 1.0, [&] { ++ticks; });
+  p.start();
+  sim.run_until(2.5);
+  p.stop();
+  EXPECT_FALSE(p.running());
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicProcess, CallbackMayStopItself) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicProcess p(sim, 1.0, [&] {
+    if (++ticks == 3) p.stop();
+  });
+  p.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicProcess, SetPeriodAffectsSubsequentTicks) {
+  Simulator sim;
+  std::vector<double> at;
+  PeriodicProcess p(sim, 1.0, [&] { at.push_back(sim.now()); });
+  p.start();
+  sim.run_until(2.0);  // ticks at 1, 2
+  p.set_period(3.0);
+  sim.run_until(8.5);  // next ticks at 5, 8
+  ASSERT_EQ(at.size(), 4u);
+  EXPECT_DOUBLE_EQ(at[2], 5.0);
+  EXPECT_DOUBLE_EQ(at[3], 8.0);
+}
+
+TEST(PeriodicProcess, DoubleStartThrows) {
+  Simulator sim;
+  PeriodicProcess p(sim, 1.0, [] {});
+  p.start();
+  EXPECT_THROW(p.start(), Error);
+}
+
+TEST(PeriodicProcess, InvalidConfigThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicProcess(sim, 0.0, [] {}), Error);
+  EXPECT_THROW(PeriodicProcess(sim, 1.0, nullptr), Error);
+}
+
+TEST(TraceRecorder, RecordsAndReadsSeries) {
+  TraceRecorder trace;
+  trace.record("lat", 1.0, 10.0);
+  trace.record("lat", 2.0, 20.0);
+  trace.record("other", 1.0, 5.0);
+  EXPECT_TRUE(trace.has_series("lat"));
+  EXPECT_FALSE(trace.has_series("missing"));
+  EXPECT_EQ(trace.series("lat").size(), 2u);
+  EXPECT_EQ(trace.series_names(), (std::vector<std::string>{"lat", "other"}));
+}
+
+TEST(TraceRecorder, UnknownSeriesThrows) {
+  TraceRecorder trace;
+  EXPECT_THROW(trace.series("nope"), hbosim::Error);
+}
+
+TEST(TraceRecorder, WindowMeanFiltersByTime) {
+  TraceRecorder trace;
+  for (int i = 0; i <= 10; ++i)
+    trace.record("v", static_cast<double>(i), static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 2.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 100.0, 200.0), 0.0);
+}
+
+TEST(TraceRecorder, MarkersAccumulate) {
+  TraceRecorder trace;
+  trace.mark(1.0, "N1");
+  trace.mark(2.0, "C5");
+  ASSERT_EQ(trace.markers().size(), 2u);
+  EXPECT_EQ(trace.markers()[1].second, "C5");
+}
+
+TEST(TraceRecorder, CsvDumpAndClear) {
+  TraceRecorder trace;
+  trace.record("v", 1.0, 2.0);
+  std::ostringstream os;
+  trace.dump_series_csv("v", os);
+  EXPECT_EQ(os.str(), "time,v\n1,2\n");
+  trace.clear();
+  EXPECT_FALSE(trace.has_series("v"));
+  EXPECT_TRUE(trace.markers().empty());
+}
+
+}  // namespace
+}  // namespace hbosim::des

@@ -1,0 +1,219 @@
+// Unit + property tests for the processor-sharing resource — the mechanism
+// behind every contention effect in the reproduction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/des/ps_resource.hpp"
+
+namespace hbosim::des {
+namespace {
+
+TEST(PsResource, SingleJobRunsAtFullRate) {
+  Simulator sim;
+  PsResource res(sim, "gpu", 1.0);
+  double done_at = -1.0;
+  res.submit(0.05, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.05, 1e-12);
+}
+
+TEST(PsResource, TwoEqualJobsShareEvenly) {
+  Simulator sim;
+  PsResource res(sim, "gpu", 1.0);
+  std::vector<double> done;
+  res.submit(0.05, [&] { done.push_back(sim.now()); });
+  res.submit(0.05, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both progress at rate 1/2, so both finish at 0.1.
+  EXPECT_NEAR(done[0], 0.10, 1e-9);
+  EXPECT_NEAR(done[1], 0.10, 1e-9);
+}
+
+TEST(PsResource, ShortJobLeavesAndLongJobSpeedsUp) {
+  Simulator sim;
+  PsResource res(sim, "gpu", 1.0);
+  double long_done = -1.0;
+  res.submit(0.03, [] {});
+  res.submit(0.09, [&] { long_done = sim.now(); });
+  sim.run();
+  // Shared until t=0.06 (short job finishes with 0.03 work at rate 1/2);
+  // the long job then has 0.06 left at full rate -> finishes at 0.12.
+  EXPECT_NEAR(long_done, 0.12, 1e-9);
+}
+
+TEST(PsResource, MultiCoreCapacityRunsJobsInParallel) {
+  Simulator sim;
+  PsResource cpu(sim, "cpu", 4.0);  // 4 cores, 1-core jobs
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i)
+    cpu.submit(0.1, [&] { done.push_back(sim.now()); });
+  sim.run();
+  for (double t : done) EXPECT_NEAR(t, 0.1, 1e-9);  // no slowdown
+}
+
+TEST(PsResource, OversubscribedCpuSlowsEveryoneEqually) {
+  Simulator sim;
+  PsResource cpu(sim, "cpu", 4.0);
+  std::vector<double> done;
+  for (int i = 0; i < 8; ++i)
+    cpu.submit(0.1, [&] { done.push_back(sim.now()); });
+  sim.run();
+  for (double t : done) EXPECT_NEAR(t, 0.2, 1e-9);  // rate 1/2 each
+}
+
+TEST(PsResource, PerJobRateCapNeverExceedsOne) {
+  Simulator sim;
+  PsResource cpu(sim, "cpu", 8.0);
+  double done_at = -1.0;
+  cpu.submit(0.1, [&] { done_at = sim.now(); });
+  sim.run();
+  // A single 1-core job cannot borrow all 8 cores.
+  EXPECT_NEAR(done_at, 0.1, 1e-12);
+}
+
+TEST(PsResource, MultiCoreJobConsumesMoreCapacity) {
+  Simulator sim;
+  PsResource cpu(sim, "cpu", 4.0);
+  std::vector<double> done(2, -1.0);
+  // A 3-core job and a 2-core job want 5 cores on a 4-core cluster:
+  // both slow to rate 4/5.
+  cpu.submit(0.1, 3.0, [&] { done[0] = sim.now(); });
+  cpu.submit(0.1, 2.0, [&] { done[1] = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done[0], 0.125, 1e-9);
+  EXPECT_NEAR(done[1], 0.125, 1e-9);
+}
+
+TEST(PsResource, BackgroundUtilizationReducesRate) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  gpu.set_background_utilization(0.5);
+  double done_at = -1.0;
+  gpu.submit(0.05, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.10, 1e-9);
+}
+
+TEST(PsResource, BackgroundChangeMidJobTakesEffectImmediately) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  double done_at = -1.0;
+  gpu.submit(0.10, [&] { done_at = sim.now(); });
+  // Run half the job, then the render pipeline loads the GPU 50%.
+  sim.run_until(0.05);
+  gpu.set_background_utilization(0.5);
+  sim.run();
+  // 0.05 work left at rate 0.5 -> 0.1 more seconds.
+  EXPECT_NEAR(done_at, 0.15, 1e-9);
+}
+
+TEST(PsResource, MaxBackgroundClampProtectsJobs) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  gpu.set_max_background(0.8);
+  gpu.set_background_utilization(1.0);  // clamped to 0.8
+  EXPECT_DOUBLE_EQ(gpu.background_utilization(), 0.8);
+  double done_at = -1.0;
+  gpu.submit(0.02, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.1, 1e-9);  // rate 0.2
+}
+
+TEST(PsResource, CancelRemovesJobAndSpeedsOthers) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  bool cancelled_ran = false;
+  double other_done = -1.0;
+  const JobId id = gpu.submit(1.0, [&] { cancelled_ran = true; });
+  gpu.submit(0.05, [&] { other_done = sim.now(); });
+  sim.run_until(0.02);
+  EXPECT_TRUE(gpu.cancel(id));
+  EXPECT_FALSE(gpu.cancel(id));
+  sim.run();
+  EXPECT_FALSE(cancelled_ran);
+  // 0.02s shared (0.01 progress) then alone: 0.04 more -> 0.06 total.
+  EXPECT_NEAR(other_done, 0.06, 1e-9);
+}
+
+TEST(PsResource, CompletionCallbackMaySubmitImmediately) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  int completions = 0;
+  std::function<void()> resubmit = [&] {
+    if (++completions < 5) gpu.submit(0.01, resubmit);
+  };
+  gpu.submit(0.01, resubmit);
+  sim.run();
+  EXPECT_EQ(completions, 5);
+  EXPECT_NEAR(sim.now(), 0.05, 1e-9);
+}
+
+TEST(PsResource, WorkDoneAccountsServiceTime) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  gpu.submit(0.05, [] {});
+  gpu.submit(0.07, [] {});
+  sim.run();
+  EXPECT_NEAR(gpu.work_done(), 0.12, 1e-9);
+}
+
+TEST(PsResource, CurrentRatePerJobPredictsShare) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  EXPECT_DOUBLE_EQ(gpu.current_rate_per_job(), 1.0);
+  gpu.submit(1.0, [] {});
+  EXPECT_DOUBLE_EQ(gpu.current_rate_per_job(), 0.5);  // with one more job
+  EXPECT_DOUBLE_EQ(gpu.requested_cores(), 1.0);
+}
+
+TEST(PsResource, InvalidArgumentsThrow) {
+  Simulator sim;
+  EXPECT_THROW(PsResource(sim, "x", 0.0), Error);
+  PsResource gpu(sim, "gpu", 1.0);
+  EXPECT_THROW(gpu.submit(-1.0, [] {}), Error);
+  EXPECT_THROW(gpu.submit(1.0, 0.0, [] {}), Error);
+  EXPECT_THROW(gpu.set_background_utilization(1.5), Error);
+  EXPECT_THROW(gpu.set_max_background(1.0), Error);
+}
+
+TEST(PsResource, ZeroDemandJobCompletesImmediatelyInSimTime) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  double done_at = -1.0;
+  gpu.submit(0.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.0, 1e-9);
+}
+
+class PsConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PsConservationTest, TotalWorkIsConservedUnderChurn) {
+  // Property: whatever the arrival pattern, the sum of service received
+  // equals the sum of submitted demands once everything drains.
+  Simulator sim;
+  PsResource res(sim, "gpu", 1.0);
+  const int n = GetParam();
+  double total_demand = 0.0;
+  int completed = 0;
+  for (int i = 0; i < n; ++i) {
+    const double demand = 0.01 + 0.003 * i;
+    const double arrival = 0.005 * i;
+    total_demand += demand;
+    sim.schedule_at(arrival, [&res, &completed, demand] {
+      res.submit(demand, [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(res.work_done(), total_demand, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PsConservationTest,
+                         ::testing::Values(1, 2, 5, 13, 40));
+
+}  // namespace
+}  // namespace hbosim::des

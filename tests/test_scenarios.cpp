@@ -1,0 +1,139 @@
+// Tests that the scenario data reproduces Table II exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hbosim/ai/registry.hpp"
+#include "hbosim/common/error.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::scenario {
+namespace {
+
+TEST(TableTwo, Sc1ObjectCountsAndTriangles) {
+  const auto placements = object_placements(ObjectSet::SC1);
+  EXPECT_EQ(placements.size(), 9u);  // 1+1+4+1+2
+
+  std::map<std::string, int> counts;
+  std::map<std::string, std::uint64_t> tris;
+  for (const auto& p : placements) {
+    ++counts[p.asset->name()];
+    tris[p.asset->name()] = p.asset->max_triangles();
+  }
+  EXPECT_EQ(counts["apricot"], 1);
+  EXPECT_EQ(counts["bike"], 1);
+  EXPECT_EQ(counts["plane"], 4);
+  EXPECT_EQ(counts["splane"], 1);
+  EXPECT_EQ(counts["Cocacola"], 2);
+  EXPECT_EQ(tris["apricot"], 86016u);
+  EXPECT_EQ(tris["bike"], 178552u);
+  EXPECT_EQ(tris["plane"], 146803u);
+  EXPECT_EQ(tris["splane"], 146803u);
+  EXPECT_EQ(tris["Cocacola"], 94080u);
+  EXPECT_EQ(total_max_triangles(ObjectSet::SC1), 1186743u);
+}
+
+TEST(TableTwo, Sc2ObjectCountsAndTriangles) {
+  const auto placements = object_placements(ObjectSet::SC2);
+  EXPECT_EQ(placements.size(), 7u);  // 1+2+2+2
+  std::map<std::string, int> counts;
+  for (const auto& p : placements) ++counts[p.asset->name()];
+  EXPECT_EQ(counts["cabin"], 1);
+  EXPECT_EQ(counts["andy"], 2);
+  EXPECT_EQ(counts["ATV"], 2);
+  EXPECT_EQ(counts["hammer"], 2);
+  EXPECT_EQ(total_max_triangles(ObjectSet::SC2),
+            2324u + 2 * 2304u + 2 * 4907u + 2 * 6250u);
+}
+
+TEST(TableTwo, Cf1HasSixTasksWithTheRightModels) {
+  const auto tasks = task_specs(TaskSet::CF1);
+  EXPECT_EQ(tasks.size(), 6u);
+  std::map<std::string, int> counts;
+  for (const auto& t : tasks) ++counts[t.model];
+  EXPECT_EQ(counts["mnist"], 1);
+  EXPECT_EQ(counts["mobilenetDetv1"], 1);
+  EXPECT_EQ(counts["model-metadata"], 2);
+  EXPECT_EQ(counts["mobilenet-v1"], 1);
+  EXPECT_EQ(counts["efficientclass-lite0"], 1);
+}
+
+TEST(TableTwo, Cf2HasThreeTasks) {
+  const auto tasks = task_specs(TaskSet::CF2);
+  EXPECT_EQ(tasks.size(), 3u);
+  std::map<std::string, int> counts;
+  for (const auto& t : tasks) ++counts[t.model];
+  EXPECT_EQ(counts["mnist"], 1);
+  EXPECT_EQ(counts["mobilenetDetv1"], 1);
+  EXPECT_EQ(counts["efficientclass-lite0"], 1);
+}
+
+TEST(TableTwo, Cf1DelegateAffinitySplitMatchesSectionVB) {
+  // "three of these tasks are optimized for better performance on the GPU
+  // delegate, while the remaining exhibit a lower latency when using the
+  // NNAPI delegate."
+  const soc::DeviceProfile device = soc::pixel7();
+  int gpu = 0;
+  int nnapi = 0;
+  for (const auto& t : task_specs(TaskSet::CF1)) {
+    const soc::Delegate best = device.best_delegate(t.model);
+    gpu += best == soc::Delegate::Gpu;
+    nnapi += best == soc::Delegate::Nnapi;
+  }
+  EXPECT_EQ(gpu, 3);
+  EXPECT_EQ(nnapi, 3);
+}
+
+TEST(TableTwo, AllTaskModelsAreInTheRegistry) {
+  for (auto set : {TaskSet::CF1, TaskSet::CF2}) {
+    for (const auto& t : task_specs(set))
+      EXPECT_TRUE(ai::is_known_model(t.model)) << t.model;
+  }
+}
+
+TEST(Assets, AreSharedAndCached) {
+  const auto a = mesh_asset("bike");
+  const auto b = mesh_asset("bike");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_THROW(mesh_asset("unknown-thing"), hbosim::Error);
+}
+
+TEST(Labels, AreUniqueWithinEachTaskset) {
+  for (auto set : {TaskSet::CF1, TaskSet::CF2}) {
+    std::set<std::string> labels;
+    for (const auto& t : task_specs(set)) labels.insert(t.label);
+    EXPECT_EQ(labels.size(), task_specs(set).size());
+  }
+}
+
+TEST(MakeApp, WiresScenesAndTasks) {
+  auto app = make_app(soc::galaxy_s22(), ObjectSet::SC1, TaskSet::CF2);
+  EXPECT_EQ(app->scene().object_count(), 9u);
+  EXPECT_EQ(app->tasks().size(), 3u);
+  EXPECT_EQ(app->device().name(), "Galaxy S22");
+  EXPECT_EQ(app->scene().total_max_triangles(), 1186743u);
+}
+
+TEST(Names, AreStable) {
+  EXPECT_STREQ(object_set_name(ObjectSet::SC1), "SC1");
+  EXPECT_STREQ(object_set_name(ObjectSet::SC2), "SC2");
+  EXPECT_STREQ(task_set_name(TaskSet::CF1), "CF1");
+  EXPECT_STREQ(task_set_name(TaskSet::CF2), "CF2");
+}
+
+TEST(UserStudyMix, MixesHeavyAndLightObjects) {
+  const auto placements = object_placements(ObjectSet::UserStudyMix);
+  bool has_heavy = false;
+  bool has_light = false;
+  for (const auto& p : placements) {
+    if (p.asset->max_triangles() > 100000) has_heavy = true;
+    if (p.asset->max_triangles() < 10000) has_light = true;
+  }
+  EXPECT_TRUE(has_heavy);
+  EXPECT_TRUE(has_light);
+}
+
+}  // namespace
+}  // namespace hbosim::scenario

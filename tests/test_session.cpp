@@ -1,0 +1,126 @@
+// Tests for MonitoredSession (the packaged Section IV-E loop) and the
+// Section VI remote-optimizer offload model.
+
+#include <gtest/gtest.h>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/core/monitored_session.hpp"
+#include "hbosim/edge/remote_optimizer.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim {
+namespace {
+
+core::MonitoredSessionConfig fast_session() {
+  core::MonitoredSessionConfig cfg;
+  cfg.hbo.n_initial = 3;
+  cfg.hbo.n_iterations = 4;
+  cfg.hbo.control_period_s = 1.0;
+  cfg.hbo.monitor_period_s = 1.0;
+  return cfg;
+}
+
+TEST(MonitoredSession, EmptySceneNeverActivates) {
+  app::MarApp app(soc::pixel7());
+  app.add_task("mnist", "d");
+  core::MonitoredSession session(app, fast_session());
+  session.run_until(20.0);
+  EXPECT_TRUE(session.activations().empty());
+  EXPECT_FALSE(session.reward_trace().empty());
+}
+
+TEST(MonitoredSession, FirstPlacementTriggersTheInitialActivation) {
+  app::MarApp app(soc::pixel7());
+  app.add_task("mnist", "d");
+  app.add_task("mobilenetDetv1", "od");
+  core::MonitoredSession session(app, fast_session());
+  session.run_until(5.0);
+  ASSERT_TRUE(session.activations().empty());
+  app.add_object(scenario::mesh_asset("bike"), 1.5);
+  session.run_until(app.sim().now() + 5.0);
+  ASSERT_GE(session.activations().size(), 1u);
+  EXPECT_FALSE(session.activations().front().warm_start);
+  EXPECT_TRUE(session.policy().has_reference());
+}
+
+TEST(MonitoredSession, TickReportsWhetherAnActivationRan) {
+  app::MarApp app(soc::pixel7());
+  app.add_task("mnist", "d");
+  core::MonitoredSession session(app, fast_session());
+  EXPECT_FALSE(session.tick());  // empty scene
+  app.add_object(scenario::mesh_asset("cabin"), 1.5);
+  EXPECT_TRUE(session.tick());  // first placement -> initial activation
+  EXPECT_FALSE(session.tick());  // settled
+}
+
+TEST(MonitoredSession, LookupTableServesRepeatedEnvironments) {
+  auto cfg = fast_session();
+  cfg.use_lookup_table = true;
+  cfg.warm_start_tolerance = 10.0;  // always accept the remembered config
+
+  app::MarApp app(soc::pixel7());
+  for (const auto& t : scenario::task_specs(scenario::TaskSet::CF2))
+    app.add_task(t.model, t.label);
+  core::MonitoredSession session(app, cfg);
+
+  // First environment: full activation, remembered.
+  const ObjectId obj = app.add_object(scenario::mesh_asset("bike"), 1.5);
+  session.run_until(app.sim().now() + 30.0);
+  ASSERT_GE(session.activations().size(), 1u);
+  EXPECT_FALSE(session.activations().front().warm_start);
+  EXPECT_EQ(session.lookup_table().size(), 1u);
+
+  // Leave and re-enter the same environment: the policy fires (reward
+  // moves), but the solution comes from the table.
+  app.scene().remove_object(obj);
+  session.run_until(app.sim().now() + 12.0);
+  app.add_object(scenario::mesh_asset("bike"), 1.5);
+  const std::size_t before = session.activations().size();
+  session.run_until(app.sim().now() + 30.0);
+  bool any_warm = false;
+  for (std::size_t i = before; i < session.activations().size(); ++i)
+    any_warm = any_warm || session.activations()[i].warm_start;
+  EXPECT_TRUE(any_warm);
+}
+
+TEST(MonitoredSession, InvalidConfigThrows) {
+  app::MarApp app(soc::pixel7());
+  app.add_task("mnist", "d");
+  auto cfg = fast_session();
+  cfg.reference_periods = 0;
+  EXPECT_THROW(core::MonitoredSession(app, cfg), Error);
+  cfg = fast_session();
+  cfg.warm_start_tolerance = -1.0;
+  EXPECT_THROW(core::MonitoredSession(app, cfg), Error);
+}
+
+TEST(RemoteOptimizer, RoundTripSumsLinkAndServerTime) {
+  edge::RemoteOptimizerConfig cfg;
+  cfg.network.rtt_ms = 10.0;
+  cfg.network.mbit_per_s = 100.0;
+  cfg.upload_bytes = 48;
+  cfg.download_bytes = 40;
+  cfg.server_suggest_ms = 2.0;
+  edge::RemoteOptimizerLink link(cfg);
+  // Two RTTs dominate; payloads are a few microseconds at 100 Mbit/s.
+  EXPECT_NEAR(link.round_trip_seconds(), 0.010 + 0.002 + 0.010, 1e-4);
+  EXPECT_EQ(link.bytes_per_iteration(), 88u);
+}
+
+TEST(RemoteOptimizer, OffloadDecisionComparesAgainstLocalCost) {
+  edge::RemoteOptimizerConfig cfg;
+  cfg.network.rtt_ms = 10.0;
+  edge::RemoteOptimizerLink link(cfg);
+  EXPECT_TRUE(link.offload_pays_off(0.100));   // slow device: 100 ms local
+  EXPECT_FALSE(link.offload_pays_off(0.001));  // fast device: 1 ms local
+  EXPECT_THROW(link.offload_pays_off(-1.0), Error);
+}
+
+TEST(RemoteOptimizer, PayloadIsAFewBytesAsThePaperClaims) {
+  const edge::RemoteOptimizerLink link;
+  EXPECT_LT(link.bytes_per_iteration(), 256u);
+}
+
+}  // namespace
+}  // namespace hbosim

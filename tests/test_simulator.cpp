@@ -1,0 +1,155 @@
+// Unit tests for the discrete-event simulation core.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/des/simulator.hpp"
+
+namespace hbosim::des {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesExecuteFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesRelativeTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), Error);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), Error);
+}
+
+TEST(Simulator, NullHandlerThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), Error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndRejectsUnknown) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));      // already cancelled
+  EXPECT_FALSE(sim.cancel(999999));  // never existed
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHeadWithoutOverrunning) {
+  // Regression guard: a cancelled event at the queue head must not cause
+  // run_until to execute a later-than-boundary event.
+  Simulator sim;
+  bool late_fired = false;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(5.0, [&] { late_fired = true; });
+  sim.cancel(id);
+  sim.run_until(2.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, RunHonoursMaxEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(static_cast<double>(i) + 1.0, [&] { ++count; });
+  sim.run(4);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace hbosim::des

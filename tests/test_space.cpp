@@ -1,0 +1,113 @@
+// Tests for the constrained optimization domain (Constraints 8-10).
+
+#include <gtest/gtest.h>
+
+#include "hbosim/bo/space.hpp"
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::bo {
+namespace {
+
+TEST(Space, DimensionsAndBounds) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  EXPECT_EQ(space.simplex_dim(), 3u);
+  EXPECT_EQ(space.dim(), 4u);
+  EXPECT_DOUBLE_EQ(space.box_lo(), 0.2);
+  EXPECT_DOUBLE_EQ(space.box_hi(), 1.0);
+}
+
+TEST(Space, InvalidConstructionThrows) {
+  EXPECT_THROW(SimplexBoxSpace(0, 0.0, 1.0), hbosim::Error);
+  EXPECT_THROW(SimplexBoxSpace(3, 0.5, 0.2), hbosim::Error);
+  EXPECT_THROW(SimplexBoxSpace(3, -0.1, 1.0), hbosim::Error);
+  EXPECT_THROW(SimplexBoxSpace(3, 0.0, 1.1), hbosim::Error);
+}
+
+class SpaceSampleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceSampleTest, SamplesAreAlwaysFeasible) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto z = space.sample(rng);
+    ASSERT_EQ(z.size(), 4u);
+    EXPECT_TRUE(space.contains(z, 1e-9));
+    EXPECT_GE(z[3], 0.2);
+    EXPECT_LE(z[3], 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceSampleTest, ::testing::Range(0, 5));
+
+TEST(Space, ClipProjectsArbitraryPoints) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  const std::vector<double> wild = {5.0, -3.0, 0.5, 7.0};
+  const auto z = space.clip(wild);
+  EXPECT_TRUE(space.contains(z, 1e-9));
+  EXPECT_DOUBLE_EQ(z[3], 1.0);  // box coordinate clamps
+}
+
+TEST(Space, ClipKeepsFeasiblePointsFixed) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  const std::vector<double> z = {0.2, 0.3, 0.5, 0.7};
+  const auto c = space.clip(z);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(c[i], z[i], 1e-12);
+}
+
+TEST(Space, PerturbStaysFeasible) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  Rng rng(9);
+  const auto base = space.sample(rng);
+  for (int i = 0; i < 200; ++i) {
+    const auto z = space.perturb(base, 0.2, rng);
+    EXPECT_TRUE(space.contains(z, 1e-9));
+  }
+}
+
+TEST(Space, PerturbScaleControlsStep) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const std::vector<double> base = {1.0 / 3, 1.0 / 3, 1.0 / 3, 0.6};
+  double small_step = 0.0;
+  double large_step = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto s = space.perturb(base, 0.01, rng_a);
+    const auto l = space.perturb(base, 0.3, rng_b);
+    for (std::size_t d = 0; d < base.size(); ++d) {
+      small_step += std::abs(s[d] - base[d]);
+      large_step += std::abs(l[d] - base[d]);
+    }
+  }
+  EXPECT_LT(small_step, large_step);
+}
+
+TEST(Space, ContainsRejectsViolations) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  EXPECT_FALSE(space.contains(std::vector<double>{0.5, 0.5}, 1e-9));  // dim
+  EXPECT_FALSE(
+      space.contains(std::vector<double>{0.5, 0.4, 0.4, 0.5}, 1e-9));  // sum
+  EXPECT_FALSE(
+      space.contains(std::vector<double>{-0.1, 0.6, 0.5, 0.5}, 1e-9));  // neg
+  EXPECT_FALSE(
+      space.contains(std::vector<double>{0.3, 0.3, 0.4, 0.1}, 1e-9));  // box
+  EXPECT_TRUE(space.contains(std::vector<double>{0.3, 0.3, 0.4, 0.5}, 1e-9));
+}
+
+TEST(Space, SplitJoinRoundTrip) {
+  const std::vector<double> z = {0.1, 0.2, 0.7, 0.9};
+  auto [c, x] = SimplexBoxSpace::split(z);
+  EXPECT_EQ(c, (std::vector<double>{0.1, 0.2, 0.7}));
+  EXPECT_DOUBLE_EQ(x, 0.9);
+  EXPECT_EQ(SimplexBoxSpace::join(c, x), z);
+}
+
+TEST(Space, DegenerateBoxPinsCoordinate) {
+  // BNT uses box [1, 1] to pin x at full quality.
+  const SimplexBoxSpace space(3, 1.0, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(space.sample(rng)[3], 1.0);
+}
+
+}  // namespace
+}  // namespace hbosim::bo

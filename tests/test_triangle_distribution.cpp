@@ -1,0 +1,157 @@
+// Tests for the TD function (Algorithm 1, line 23): budget fidelity,
+// bounds, and optimality of the water-filling distribution.
+
+#include <gtest/gtest.h>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/rng.hpp"
+#include "hbosim/core/triangle_distribution.hpp"
+#include "hbosim/render/mesh.hpp"
+
+namespace hbosim::core {
+namespace {
+
+std::vector<ObjectState> demo_objects() {
+  std::vector<ObjectState> objects;
+  const char* names[] = {"apricot", "bike", "plane", "Cocacola", "hammer"};
+  const std::uint64_t tris[] = {86016, 178552, 146803, 94080, 6250};
+  const double dist[] = {1.2, 2.0, 2.5, 1.5, 1.8};
+  for (int i = 0; i < 5; ++i) {
+    objects.push_back(ObjectState{
+        render::synthesize_degradation_params(names[i], tris[i]), dist[i],
+        tris[i]});
+  }
+  return objects;
+}
+
+TEST(WaterFill, FullBudgetGivesFullQuality) {
+  const auto objects = demo_objects();
+  const auto ratios = distribute_waterfill(objects, 1.0);
+  for (double r : ratios) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(WaterFill, EmptySceneYieldsEmptyAssignment) {
+  EXPECT_TRUE(distribute_waterfill({}, 0.5).empty());
+  EXPECT_TRUE(distribute_sensitivity({}, 0.5).empty());
+}
+
+class BudgetFidelity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetFidelity, WaterFillMeetsTheBudget) {
+  const auto objects = demo_objects();
+  const double x = GetParam();
+  const auto ratios = distribute_waterfill(objects, x);
+  double total_max = 0.0;
+  for (const auto& o : objects)
+    total_max += static_cast<double>(o.max_triangles);
+  const double budget = std::max(x, 0.05) * total_max;
+  EXPECT_NEAR(assignment_triangles(objects, ratios), budget,
+              0.002 * total_max);
+  for (double r : ratios) {
+    EXPECT_GE(r, 0.05 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(BudgetFidelity, SensitivityHeuristicStaysWithinBudgetAndBounds) {
+  const auto objects = demo_objects();
+  const double x = GetParam();
+  const auto ratios = distribute_sensitivity(objects, x);
+  double total_max = 0.0;
+  for (const auto& o : objects)
+    total_max += static_cast<double>(o.max_triangles);
+  // The heuristic is approximate: allow 5% budget slack.
+  EXPECT_LE(assignment_triangles(objects, ratios),
+            std::max(x, 0.05) * total_max * 1.05 + 1.0);
+  for (double r : ratios) {
+    EXPECT_GE(r, 0.05 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetFidelity,
+                         ::testing::Values(0.1, 0.2, 0.35, 0.5, 0.72, 0.9,
+                                           0.99));
+
+TEST(WaterFill, DominatesUniformAndSensitivity) {
+  const auto objects = demo_objects();
+  for (double x : {0.2, 0.4, 0.6, 0.8}) {
+    const auto water = distribute_waterfill(objects, x);
+    const auto sens = distribute_sensitivity(objects, x);
+    const std::vector<double> uniform(objects.size(), x);
+    const double qw = assignment_quality(objects, water);
+    const double qs = assignment_quality(objects, sens);
+    const double qu = assignment_quality(objects, uniform);
+    EXPECT_GE(qw, qu - 1e-9) << "x=" << x;
+    EXPECT_GE(qw, qs - 1e-9) << "x=" << x;
+  }
+}
+
+TEST(WaterFill, QualityIsMonotoneInBudget) {
+  const auto objects = demo_objects();
+  double prev = 0.0;
+  for (double x = 0.1; x <= 1.0; x += 0.05) {
+    const auto ratios = distribute_waterfill(objects, x);
+    const double q = assignment_quality(objects, ratios);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+}
+
+TEST(WaterFill, WaterFillEqualizesMarginalGains) {
+  // KKT check: for interior ratios (not clamped), the marginal quality per
+  // triangle must be equal across objects.
+  const auto objects = demo_objects();
+  const auto ratios = distribute_waterfill(objects, 0.6);
+  std::vector<double> marginals;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (ratios[i] > 0.06 && ratios[i] < 0.999) {
+      const double slope = render::degradation_slope(
+          objects[i].params, ratios[i], objects[i].distance);
+      marginals.push_back(-slope /
+                          static_cast<double>(objects[i].max_triangles));
+    }
+  }
+  ASSERT_GE(marginals.size(), 2u);
+  for (std::size_t i = 1; i < marginals.size(); ++i)
+    EXPECT_NEAR(marginals[i] / marginals[0], 1.0, 1e-3);
+}
+
+TEST(WaterFill, CloserObjectsGetMoreTrianglesCeterisParibus) {
+  // Two identical meshes at different distances: the close one degrades
+  // more visibly, so it must receive the larger ratio.
+  const auto params = render::synthesize_degradation_params("plane", 146803);
+  std::vector<ObjectState> objects = {
+      ObjectState{params, 1.0, 146803},
+      ObjectState{params, 4.0, 146803},
+  };
+  const auto ratios = distribute_waterfill(objects, 0.5);
+  EXPECT_GT(ratios[0], ratios[1]);
+}
+
+TEST(Distribution, SingleObjectGetsTheWholeBudget) {
+  const auto params = render::synthesize_degradation_params("bike", 178552);
+  const std::vector<ObjectState> objects = {ObjectState{params, 1.5, 178552}};
+  for (double x : {0.3, 0.7}) {
+    const auto r = distribute_waterfill(objects, x);
+    EXPECT_NEAR(r[0], x, 1e-6);
+  }
+}
+
+TEST(Distribution, InvalidInputsThrow) {
+  auto objects = demo_objects();
+  EXPECT_THROW(distribute_waterfill(objects, 1.5), hbosim::Error);
+  EXPECT_THROW(distribute_waterfill(objects, -0.1), hbosim::Error);
+  objects[0].params.a = -1.0;
+  EXPECT_THROW(distribute_waterfill(objects, 0.5), hbosim::Error);
+  EXPECT_THROW(assignment_quality(demo_objects(), {0.5}), hbosim::Error);
+}
+
+TEST(Distribution, BudgetBelowFloorClampsToFloor) {
+  const auto objects = demo_objects();
+  const auto ratios = distribute_waterfill(objects, 0.01);
+  for (double r : ratios) EXPECT_NEAR(r, 0.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace hbosim::core
