@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_museum_exhibit.dir/ar_museum_exhibit.cpp.o"
+  "CMakeFiles/ar_museum_exhibit.dir/ar_museum_exhibit.cpp.o.d"
+  "ar_museum_exhibit"
+  "ar_museum_exhibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_museum_exhibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

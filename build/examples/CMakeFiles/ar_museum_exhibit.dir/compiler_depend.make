@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ar_museum_exhibit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ar_museum_exhibit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_experiment.dir/motivation_experiment.cpp.o"
+  "CMakeFiles/motivation_experiment.dir/motivation_experiment.cpp.o.d"
+  "motivation_experiment"
+  "motivation_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/ai/engine.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/engine.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/engine.cpp.o.d"
+  "/root/repo/src/hbosim/ai/exec_plan.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/exec_plan.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/exec_plan.cpp.o.d"
+  "/root/repo/src/hbosim/ai/latency_stats.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/latency_stats.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/latency_stats.cpp.o.d"
+  "/root/repo/src/hbosim/ai/model.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/model.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/model.cpp.o.d"
+  "/root/repo/src/hbosim/ai/profiler.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/profiler.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/profiler.cpp.o.d"
+  "/root/repo/src/hbosim/ai/registry.cpp" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/registry.cpp.o" "gcc" "src/CMakeFiles/hbosim_ai.dir/hbosim/ai/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/engine.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/engine.cpp.o.d"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/exec_plan.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/exec_plan.cpp.o.d"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/latency_stats.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/latency_stats.cpp.o.d"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/model.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/model.cpp.o.d"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/profiler.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/profiler.cpp.o.d"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/registry.cpp.o"
+  "CMakeFiles/hbosim_ai.dir/hbosim/ai/registry.cpp.o.d"
+  "libhbosim_ai.a"
+  "libhbosim_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/app/mar_app.cpp" "src/CMakeFiles/hbosim_app.dir/hbosim/app/mar_app.cpp.o" "gcc" "src/CMakeFiles/hbosim_app.dir/hbosim/app/mar_app.cpp.o.d"
+  "/root/repo/src/hbosim/app/metrics.cpp" "src/CMakeFiles/hbosim_app.dir/hbosim/app/metrics.cpp.o" "gcc" "src/CMakeFiles/hbosim_app.dir/hbosim/app/metrics.cpp.o.d"
+  "/root/repo/src/hbosim/app/script.cpp" "src/CMakeFiles/hbosim_app.dir/hbosim/app/script.cpp.o" "gcc" "src/CMakeFiles/hbosim_app.dir/hbosim/app/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_app.dir/hbosim/app/mar_app.cpp.o"
+  "CMakeFiles/hbosim_app.dir/hbosim/app/mar_app.cpp.o.d"
+  "CMakeFiles/hbosim_app.dir/hbosim/app/metrics.cpp.o"
+  "CMakeFiles/hbosim_app.dir/hbosim/app/metrics.cpp.o.d"
+  "CMakeFiles/hbosim_app.dir/hbosim/app/script.cpp.o"
+  "CMakeFiles/hbosim_app.dir/hbosim/app/script.cpp.o.d"
+  "libhbosim_app.a"
+  "libhbosim_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/alln.cpp.o"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/alln.cpp.o.d"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/bnt.cpp.o"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/bnt.cpp.o.d"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/sml.cpp.o"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/sml.cpp.o.d"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/smq.cpp.o"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/smq.cpp.o.d"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/static_alloc.cpp.o"
+  "CMakeFiles/hbosim_baselines.dir/hbosim/baselines/static_alloc.cpp.o.d"
+  "libhbosim_baselines.a"
+  "libhbosim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/bo/acquisition.cpp" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/acquisition.cpp.o" "gcc" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/acquisition.cpp.o.d"
+  "/root/repo/src/hbosim/bo/gp.cpp" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/gp.cpp.o" "gcc" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/gp.cpp.o.d"
+  "/root/repo/src/hbosim/bo/kernel.cpp" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/kernel.cpp.o" "gcc" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/kernel.cpp.o.d"
+  "/root/repo/src/hbosim/bo/optimizer.cpp" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/optimizer.cpp.o" "gcc" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/optimizer.cpp.o.d"
+  "/root/repo/src/hbosim/bo/space.cpp" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/space.cpp.o" "gcc" "src/CMakeFiles/hbosim_bo.dir/hbosim/bo/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/acquisition.cpp.o"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/acquisition.cpp.o.d"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/gp.cpp.o"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/gp.cpp.o.d"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/kernel.cpp.o"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/kernel.cpp.o.d"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/optimizer.cpp.o"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/optimizer.cpp.o.d"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/space.cpp.o"
+  "CMakeFiles/hbosim_bo.dir/hbosim/bo/space.cpp.o.d"
+  "libhbosim_bo.a"
+  "libhbosim_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

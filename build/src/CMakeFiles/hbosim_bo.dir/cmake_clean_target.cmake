@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbosim_bo.a"
+)

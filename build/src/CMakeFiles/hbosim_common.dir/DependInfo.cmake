@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/common/error.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/error.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/error.cpp.o.d"
+  "/root/repo/src/hbosim/common/logging.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/logging.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/logging.cpp.o.d"
+  "/root/repo/src/hbosim/common/mathx.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/mathx.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/mathx.cpp.o.d"
+  "/root/repo/src/hbosim/common/matrix.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/matrix.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/matrix.cpp.o.d"
+  "/root/repo/src/hbosim/common/rng.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/rng.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/rng.cpp.o.d"
+  "/root/repo/src/hbosim/common/stats.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/stats.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/stats.cpp.o.d"
+  "/root/repo/src/hbosim/common/table.cpp" "src/CMakeFiles/hbosim_common.dir/hbosim/common/table.cpp.o" "gcc" "src/CMakeFiles/hbosim_common.dir/hbosim/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

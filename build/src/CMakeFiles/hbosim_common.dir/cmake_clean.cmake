@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_common.dir/hbosim/common/error.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/error.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/logging.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/logging.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/mathx.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/mathx.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/matrix.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/matrix.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/rng.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/rng.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/stats.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/stats.cpp.o.d"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/table.cpp.o"
+  "CMakeFiles/hbosim_common.dir/hbosim/common/table.cpp.o.d"
+  "libhbosim_common.a"
+  "libhbosim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/core/activation.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/activation.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/activation.cpp.o.d"
+  "/root/repo/src/hbosim/core/allocation.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/allocation.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/allocation.cpp.o.d"
+  "/root/repo/src/hbosim/core/config.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/config.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/config.cpp.o.d"
+  "/root/repo/src/hbosim/core/controller.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/controller.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/controller.cpp.o.d"
+  "/root/repo/src/hbosim/core/cost.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/cost.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/cost.cpp.o.d"
+  "/root/repo/src/hbosim/core/lookup_table.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/lookup_table.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/lookup_table.cpp.o.d"
+  "/root/repo/src/hbosim/core/monitored_session.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/monitored_session.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/monitored_session.cpp.o.d"
+  "/root/repo/src/hbosim/core/triangle_distribution.cpp" "src/CMakeFiles/hbosim_core.dir/hbosim/core/triangle_distribution.cpp.o" "gcc" "src/CMakeFiles/hbosim_core.dir/hbosim/core/triangle_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_core.dir/hbosim/core/activation.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/activation.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/allocation.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/allocation.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/config.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/config.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/controller.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/controller.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/cost.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/cost.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/lookup_table.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/lookup_table.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/monitored_session.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/monitored_session.cpp.o.d"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/triangle_distribution.cpp.o"
+  "CMakeFiles/hbosim_core.dir/hbosim/core/triangle_distribution.cpp.o.d"
+  "libhbosim_core.a"
+  "libhbosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/des/process.cpp" "src/CMakeFiles/hbosim_des.dir/hbosim/des/process.cpp.o" "gcc" "src/CMakeFiles/hbosim_des.dir/hbosim/des/process.cpp.o.d"
+  "/root/repo/src/hbosim/des/ps_resource.cpp" "src/CMakeFiles/hbosim_des.dir/hbosim/des/ps_resource.cpp.o" "gcc" "src/CMakeFiles/hbosim_des.dir/hbosim/des/ps_resource.cpp.o.d"
+  "/root/repo/src/hbosim/des/simulator.cpp" "src/CMakeFiles/hbosim_des.dir/hbosim/des/simulator.cpp.o" "gcc" "src/CMakeFiles/hbosim_des.dir/hbosim/des/simulator.cpp.o.d"
+  "/root/repo/src/hbosim/des/trace.cpp" "src/CMakeFiles/hbosim_des.dir/hbosim/des/trace.cpp.o" "gcc" "src/CMakeFiles/hbosim_des.dir/hbosim/des/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

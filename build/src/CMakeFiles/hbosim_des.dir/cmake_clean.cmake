@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_des.dir/hbosim/des/process.cpp.o"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/process.cpp.o.d"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/ps_resource.cpp.o"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/ps_resource.cpp.o.d"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/simulator.cpp.o"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/simulator.cpp.o.d"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/trace.cpp.o"
+  "CMakeFiles/hbosim_des.dir/hbosim/des/trace.cpp.o.d"
+  "libhbosim_des.a"
+  "libhbosim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

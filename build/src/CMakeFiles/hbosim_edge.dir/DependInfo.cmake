@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/edge/cache.cpp" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/cache.cpp.o" "gcc" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/cache.cpp.o.d"
+  "/root/repo/src/hbosim/edge/decimation_service.cpp" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/decimation_service.cpp.o" "gcc" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/decimation_service.cpp.o.d"
+  "/root/repo/src/hbosim/edge/network.cpp" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/network.cpp.o" "gcc" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/network.cpp.o.d"
+  "/root/repo/src/hbosim/edge/remote_optimizer.cpp" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/remote_optimizer.cpp.o" "gcc" "src/CMakeFiles/hbosim_edge.dir/hbosim/edge/remote_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

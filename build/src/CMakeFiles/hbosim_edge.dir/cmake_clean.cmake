@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/cache.cpp.o"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/cache.cpp.o.d"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/decimation_service.cpp.o"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/decimation_service.cpp.o.d"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/network.cpp.o"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/network.cpp.o.d"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/remote_optimizer.cpp.o"
+  "CMakeFiles/hbosim_edge.dir/hbosim/edge/remote_optimizer.cpp.o.d"
+  "libhbosim_edge.a"
+  "libhbosim_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbosim/render/culling.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/culling.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/culling.cpp.o.d"
+  "/root/repo/src/hbosim/render/degradation.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/degradation.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/degradation.cpp.o.d"
+  "/root/repo/src/hbosim/render/mesh.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/mesh.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/mesh.cpp.o.d"
+  "/root/repo/src/hbosim/render/object.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/object.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/object.cpp.o.d"
+  "/root/repo/src/hbosim/render/render_load.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/render_load.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/render_load.cpp.o.d"
+  "/root/repo/src/hbosim/render/scene.cpp" "src/CMakeFiles/hbosim_render.dir/hbosim/render/scene.cpp.o" "gcc" "src/CMakeFiles/hbosim_render.dir/hbosim/render/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

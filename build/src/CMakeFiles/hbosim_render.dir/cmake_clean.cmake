@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_render.dir/hbosim/render/culling.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/culling.cpp.o.d"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/degradation.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/degradation.cpp.o.d"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/mesh.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/mesh.cpp.o.d"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/object.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/object.cpp.o.d"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/render_load.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/render_load.cpp.o.d"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/scene.cpp.o"
+  "CMakeFiles/hbosim_render.dir/hbosim/render/scene.cpp.o.d"
+  "libhbosim_render.a"
+  "libhbosim_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_scenario.dir/hbosim/scenario/scenarios.cpp.o"
+  "CMakeFiles/hbosim_scenario.dir/hbosim/scenario/scenarios.cpp.o.d"
+  "libhbosim_scenario.a"
+  "libhbosim_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

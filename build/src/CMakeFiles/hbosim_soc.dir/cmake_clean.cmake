@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/device.cpp.o"
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/device.cpp.o.d"
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/devices_builtin.cpp.o"
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/devices_builtin.cpp.o.d"
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/resource.cpp.o"
+  "CMakeFiles/hbosim_soc.dir/hbosim/soc/resource.cpp.o.d"
+  "libhbosim_soc.a"
+  "libhbosim_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

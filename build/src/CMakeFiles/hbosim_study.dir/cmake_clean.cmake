@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbosim_study.dir/hbosim/study/raters.cpp.o"
+  "CMakeFiles/hbosim_study.dir/hbosim/study/raters.cpp.o.d"
+  "libhbosim_study.a"
+  "libhbosim_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbosim_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_exec_plan.cpp" "tests/CMakeFiles/test_exec_plan.dir/test_exec_plan.cpp.o" "gcc" "tests/CMakeFiles/test_exec_plan.dir/test_exec_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbosim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hbosim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_plan.dir/test_exec_plan.cpp.o"
+  "CMakeFiles/test_exec_plan.dir/test_exec_plan.cpp.o.d"
+  "test_exec_plan"
+  "test_exec_plan.pdb"
+  "test_exec_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mar_app.dir/test_mar_app.cpp.o"
+  "CMakeFiles/test_mar_app.dir/test_mar_app.cpp.o.d"
+  "test_mar_app"
+  "test_mar_app.pdb"
+  "test_mar_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mar_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_trace.dir/test_process_trace.cpp.o"
+  "CMakeFiles/test_process_trace.dir/test_process_trace.cpp.o.d"
+  "test_process_trace"
+  "test_process_trace.pdb"
+  "test_process_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps_resource.dir/test_ps_resource.cpp.o"
+  "CMakeFiles/test_ps_resource.dir/test_ps_resource.cpp.o.d"
+  "test_ps_resource"
+  "test_ps_resource.pdb"
+  "test_ps_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_distribution.dir/test_triangle_distribution.cpp.o"
+  "CMakeFiles/test_triangle_distribution.dir/test_triangle_distribution.cpp.o.d"
+  "test_triangle_distribution"
+  "test_triangle_distribution.pdb"
+  "test_triangle_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
