@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace hbosim {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// One line is emitted per lock hold so concurrent fleet workers never
+// interleave characters of different records in the sink.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,6 +35,7 @@ LogLevel log_level() { return g_level.load(); }
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
   if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::cerr << '[' << level_name(level) << "] " << component << ": "
             << message << '\n';
 }

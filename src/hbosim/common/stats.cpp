@@ -43,6 +43,17 @@ double Ewma::value() const {
   return value_;
 }
 
+double percentile(std::vector<double> values, double p) {
+  HB_REQUIRE(!values.empty(), "percentile of an empty sample");
+  HB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   HB_REQUIRE(bins > 0, "Histogram requires at least one bin");

@@ -47,6 +47,11 @@ class Ewma {
   bool initialized_ = false;
 };
 
+/// The p-th percentile (p in [0, 100]) of `values` by linear interpolation
+/// between order statistics. Throws on an empty sample or p out of range.
+/// Takes the sample by value: it is sorted internally.
+double percentile(std::vector<double> values, double p);
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
 /// edge bins so nothing is silently dropped.
 class Histogram {

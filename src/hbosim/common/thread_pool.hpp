@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool with task futures and graceful shutdown, used
+/// by hbosim::fleet to run many independent MonitoredSessions concurrently.
+/// Deliberately minimal: no work stealing, no priorities — fleet workloads
+/// are coarse-grained (one task simulates an entire session), so a single
+/// locked deque is nowhere near contended.
+
+namespace hbosim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; use hardware_threads() to size to the
+  /// machine). Throws hbosim::Error for a zero-sized pool.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains remaining queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Number of tasks accepted but not yet finished executing.
+  std::size_t pending() const;
+
+  /// Schedule `fn` and return a future for its result. Exceptions thrown
+  /// by `fn` surface from future::get(). Submitting after shutdown()
+  /// throws hbosim::Error.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Stop accepting new tasks, finish everything already queued, and join
+  /// the workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< Tasks popped but still running.
+  bool accepting_ = true;
+};
+
+}  // namespace hbosim

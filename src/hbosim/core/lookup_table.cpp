@@ -42,6 +42,11 @@ void SolutionLookupTable::store(const EnvironmentKey& key,
   }
 }
 
+void SolutionLookupTable::replace(const EnvironmentKey& key,
+                                  StoredSolution solution) {
+  entries_[key] = std::move(solution);
+}
+
 std::optional<StoredSolution> SolutionLookupTable::find(
     const EnvironmentKey& key) const {
   auto it = entries_.find(key);

@@ -41,6 +41,11 @@ class SolutionLookupTable {
   /// Remember a solution (keeps the lower-cost entry on collision).
   void store(const EnvironmentKey& key, StoredSolution solution);
 
+  /// Unconditionally overwrite an entry — used when a remembered cost
+  /// proved unachievable during warm-start validation, so the lower-cost
+  /// collision policy would keep the stale entry forever.
+  void replace(const EnvironmentKey& key, StoredSolution solution);
+
   /// Exact-bucket match.
   std::optional<StoredSolution> find(const EnvironmentKey& key) const;
 

@@ -21,6 +21,14 @@ MonitoredSession::MonitoredSession(app::MarApp& app,
   app_.start();
 }
 
+void MonitoredSession::observe(const app::PeriodMetrics& m) {
+  const double reward = m.reward(cfg_.hbo.w);
+  rewards_.emplace_back(app_.sim().now(), reward);
+  quality_stat_.add(m.average_quality);
+  latency_stat_.add(m.latency_ratio);
+  reward_stat_.add(reward);
+}
+
 double MonitoredSession::settle_and_reference() {
   // One settle period flushes the last exploration config / redraw, then
   // the reference is a multi-period average (see Section IV-E: "the new
@@ -31,7 +39,7 @@ double MonitoredSession::settle_and_reference() {
     const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
     reference += m.reward(cfg_.hbo.w) /
                  static_cast<double>(cfg_.reference_periods);
-    rewards_.emplace_back(app_.sim().now(), m.reward(cfg_.hbo.w));
+    observe(m);
   }
   policy_.set_reference(reference);
   smoothed_ = Ewma(cfg_.smoothing_alpha);
@@ -43,20 +51,32 @@ void MonitoredSession::activate() {
   SessionActivation record;
   record.at = app_.sim().now();
 
+  bool rejected_warm_start = false;
   if (cfg_.use_lookup_table) {
     const EnvironmentKey key = SolutionLookupTable::make_key(app_);
-    if (const auto hit = lookup_.find(key)) {
+    auto hit = lookup_.find(key);
+    bool shared = false;
+    if (!hit && store_.fetch) {
+      // Local miss: another session may already have solved this
+      // environment (Section VI's "share results across users").
+      hit = store_.fetch(key);
+      shared = hit.has_value();
+    }
+    if (hit) {
       // Warm start: apply the remembered configuration and check it still
       // performs; only fall back to a full activation if it degraded.
       controller_.apply_configuration(hit->z);
       app_.run_period(cfg_.hbo.monitor_period_s);  // settle
       const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
       if (cost_of(m, cfg_.hbo.w) <= hit->cost + cfg_.warm_start_tolerance) {
+        if (shared) lookup_.store(key, *hit);  // adopt the pooled solution
         record.warm_start = true;
+        record.from_shared_store = shared;
         record.reference_reward = settle_and_reference();
         activations_.push_back(std::move(record));
         return;
       }
+      rejected_warm_start = true;
     }
   }
 
@@ -68,8 +88,17 @@ void MonitoredSession::activate() {
     const double remembered = std::isfinite(record.result.validated_cost)
                                   ? record.result.validated_cost
                                   : record.result.best().cost;
-    lookup_.store(SolutionLookupTable::make_key(app_),
-                  StoredSolution{record.result.best().z, remembered});
+    const EnvironmentKey key = SolutionLookupTable::make_key(app_);
+    StoredSolution solution{record.result.best().z, remembered};
+    if (rejected_warm_start) {
+      // The remembered cost just proved unachievable here; keeping it
+      // (store's lower-cost-wins policy) would poison every future warm
+      // start of this environment. Overwrite with the measured reality.
+      lookup_.replace(key, solution);
+    } else {
+      lookup_.store(key, solution);
+    }
+    if (store_.publish) store_.publish(key, solution);
   }
   record.reference_reward = settle_and_reference();
   activations_.push_back(std::move(record));
@@ -78,7 +107,7 @@ void MonitoredSession::activate() {
 bool MonitoredSession::tick() {
   const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
   const double reward = m.reward(cfg_.hbo.w);
-  rewards_.emplace_back(app_.sim().now(), reward);
+  observe(m);
   smoothed_.add(reward);
 
   if (app_.scene().empty()) return false;  // arm at first placement

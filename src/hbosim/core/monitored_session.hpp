@@ -42,9 +42,21 @@ struct MonitoredSessionConfig {
 /// One record per activation the session performed.
 struct SessionActivation {
   SimTime at = 0.0;
-  bool warm_start = false;   ///< Served from the lookup table?
+  bool warm_start = false;        ///< Served from a remembered solution?
+  bool from_shared_store = false; ///< Warm start came from the external store?
   double reference_reward = 0.0;
   ActivationResult result;   ///< Empty history for warm starts.
+};
+
+/// Hooks into an external (e.g. fleet-wide) solution store. `fetch` is
+/// consulted when the session's own lookup table misses; `publish` is
+/// called after every full activation with the solution that was stored
+/// locally. Either hook may be empty. The hooks are invoked on whatever
+/// thread runs the session, so a shared store behind them must be
+/// thread-safe (see fleet::SharedSolutionPool).
+struct SolutionStoreHooks {
+  std::function<std::optional<StoredSolution>(const EnvironmentKey&)> fetch;
+  std::function<void(const EnvironmentKey&, const StoredSolution&)> publish;
 };
 
 class MonitoredSession {
@@ -67,18 +79,40 @@ class MonitoredSession {
   }
   const EventActivationPolicy& policy() const { return policy_; }
   const SolutionLookupTable& lookup_table() const { return lookup_; }
+  /// Mutable access, for injecting remembered solutions from outside (the
+  /// Section VI "share results across users" direction) and for tests.
+  SolutionLookupTable& lookup_table() { return lookup_; }
   const MonitoredSessionConfig& config() const { return cfg_; }
+
+  /// Attach external warm-start hooks. Only consulted/notified while
+  /// `use_lookup_table` is enabled (the hooks extend the table, they do
+  /// not replace it).
+  void set_solution_store(SolutionStoreHooks hooks) {
+    store_ = std::move(hooks);
+  }
+
+  /// Streaming statistics over every monitored period observed so far
+  /// (quality Q_t, latency ratio epsilon_t, reward B_t) — the per-session
+  /// aggregates fleet runs roll up without retaining full traces.
+  const RunningStat& quality_stat() const { return quality_stat_; }
+  const RunningStat& latency_ratio_stat() const { return latency_stat_; }
+  const RunningStat& reward_stat() const { return reward_stat_; }
 
  private:
   void activate();
   double settle_and_reference();
+  void observe(const app::PeriodMetrics& m);
 
   app::MarApp& app_;
   MonitoredSessionConfig cfg_;
   HboController controller_;
   EventActivationPolicy policy_;
   SolutionLookupTable lookup_;
+  SolutionStoreHooks store_;
   Ewma smoothed_;
+  RunningStat quality_stat_;
+  RunningStat latency_stat_;
+  RunningStat reward_stat_;
   std::vector<SessionActivation> activations_;
   std::vector<std::pair<SimTime, double>> rewards_;
 };

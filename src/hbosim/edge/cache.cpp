@@ -1,41 +1,14 @@
 #include "hbosim/edge/cache.hpp"
 
-#include "hbosim/common/error.hpp"
-
 namespace hbosim::edge {
 
-LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
-  HB_REQUIRE(capacity_ > 0, "cache capacity must be positive");
-}
-
-const std::uint64_t* LruCache::get(const std::string& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
-    return nullptr;
+std::string compose_key(std::initializer_list<std::string> parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '@';
+    out += p;
   }
-  ++hits_;
-  order_.splice(order_.begin(), order_, it->second);
-  return &it->second->second;
-}
-
-void LruCache::put(const std::string& key, std::uint64_t value) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    it->second->second = value;
-    order_.splice(order_.begin(), order_, it->second);
-    return;
-  }
-  if (map_.size() >= capacity_) {
-    map_.erase(order_.back().first);
-    order_.pop_back();
-  }
-  order_.emplace_front(key, value);
-  map_[key] = order_.begin();
-}
-
-bool LruCache::contains(const std::string& key) const {
-  return map_.count(key) > 0;
+  return out;
 }
 
 }  // namespace hbosim::edge

@@ -1,42 +1,85 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
+
+#include "hbosim/common/error.hpp"
 
 /// \file cache.hpp
 /// LRU cache of decimated mesh versions held on the device (paper Fig. 3:
 /// "Each decimated version can either be found in the local cache or
-/// downloaded from a server").
+/// downloaded from a server"). The mechanics are a value-generic template
+/// (`BasicLruCache`) so other subsystems — notably the fleet's shared
+/// solution pool — reuse the same recency/eviction/counter behaviour with
+/// their own payload type.
 
 namespace hbosim::edge {
 
-class LruCache {
+/// Compose a string cache key from parts, `"part@part@..."` — the same
+/// scheme DecimationService uses for decimated-mesh versions. Shared so
+/// every cache in the system keys consistently (and greppably).
+std::string compose_key(std::initializer_list<std::string> parts);
+
+template <typename V>
+class BasicLruCache {
  public:
-  explicit LruCache(std::size_t capacity);
+  explicit BasicLruCache(std::size_t capacity) : capacity_(capacity) {
+    HB_REQUIRE(capacity_ > 0, "cache capacity must be positive");
+  }
 
   /// Look up a key, refreshing its recency. Returns nullptr on miss.
-  const std::uint64_t* get(const std::string& key);
+  const V* get(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
 
   /// Insert/overwrite a key, evicting the least-recently-used entry if at
   /// capacity.
-  void put(const std::string& key, std::uint64_t value);
+  void put(const std::string& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
 
-  bool contains(const std::string& key) const;
+  bool contains(const std::string& key) const { return map_.count(key) > 0; }
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   std::size_t capacity_;
   // Most-recent at front.
-  std::list<std::pair<std::string, std::uint64_t>> order_;
-  std::unordered_map<std::string, decltype(order_)::iterator> map_;
+  std::list<std::pair<std::string, V>> order_;
+  std::unordered_map<std::string, typename decltype(order_)::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
+
+/// The device-side decimated-mesh cache (triangle count per version key).
+using LruCache = BasicLruCache<std::uint64_t>;
 
 }  // namespace hbosim::edge

@@ -24,10 +24,10 @@ DecimationResult DecimationService::request(const render::MeshAsset& asset,
                                             double ratio) {
   DecimationResult out;
   out.served_ratio = quantize_ratio(ratio);
-  const std::string key =
-      asset.name() + "@" +
-      std::to_string(
-          static_cast<int>(std::lround(out.served_ratio * cfg_.ratio_levels)));
+  const std::string key = compose_key(
+      {asset.name(),
+       std::to_string(
+           static_cast<int>(std::lround(out.served_ratio * cfg_.ratio_levels)))});
 
   if (const std::uint64_t* cached = cache_.get(key)) {
     out.triangles = *cached;

@@ -1,0 +1,58 @@
+#include "hbosim/fleet/fleet_metrics.hpp"
+
+#include <algorithm>
+
+#include "hbosim/common/stats.hpp"
+
+namespace hbosim::fleet {
+
+MetricSummary summarize_metric(const std::vector<double>& values) {
+  MetricSummary out;
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  out.mean = acc / static_cast<double>(values.size());
+  out.p50 = percentile(values, 50.0);
+  out.p90 = percentile(values, 90.0);
+  out.p99 = percentile(values, 99.0);
+  return out;
+}
+
+FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
+                             double wall_seconds,
+                             const SharedSolutionPoolStats& pool) {
+  FleetMetrics out;
+  out.sessions = sessions.size();
+  out.wall_seconds = wall_seconds;
+  out.pool = pool;
+  if (sessions.empty()) return out;
+
+  std::vector<double> quality, eps, reward;
+  quality.reserve(sessions.size());
+  eps.reserve(sessions.size());
+  reward.reserve(sessions.size());
+  for (const SessionResult& s : sessions) {
+    quality.push_back(s.mean_quality);
+    eps.push_back(s.mean_latency_ratio);
+    reward.push_back(s.mean_reward);
+    out.total_sim_seconds += s.sim_seconds;
+    out.total_activations += s.activations;
+    out.total_warm_starts += s.warm_starts;
+    out.total_shared_warm_starts += s.shared_warm_starts;
+  }
+  out.quality = summarize_metric(quality);
+  out.latency_ratio = summarize_metric(eps);
+  out.reward = summarize_metric(reward);
+  if (out.total_activations > 0) {
+    out.warm_start_rate = static_cast<double>(out.total_warm_starts) /
+                          static_cast<double>(out.total_activations);
+  }
+  if (wall_seconds > 0.0) {
+    out.sessions_per_sec =
+        static_cast<double>(sessions.size()) / wall_seconds;
+  }
+  return out;
+}
+
+}  // namespace hbosim::fleet

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbosim/fleet/shared_pool.hpp"
+
+/// \file fleet_metrics.hpp
+/// Per-session results and their fleet-wide roll-up. SessionResult holds
+/// only aggregates (not traces) so a multi-thousand-session fleet stays
+/// cheap to collect; FleetMetrics adds cross-session percentiles and the
+/// wall-clock throughput the scaling bench reports.
+
+namespace hbosim::fleet {
+
+/// Aggregate outcome of one simulated session. Everything except
+/// `wall_seconds` is a pure function of the session's spec and seed, and
+/// therefore identical regardless of which thread ran it (the fleet
+/// determinism guarantee — see DESIGN.md).
+struct SessionResult {
+  std::size_t session_id = 0;
+  std::string device;
+  std::string scenario;  ///< "SC1/CF1" etc.
+  std::uint64_t seed = 0;
+
+  double sim_seconds = 0.0;   ///< Simulated time covered.
+  std::size_t periods = 0;    ///< Monitor periods observed.
+  double mean_quality = 0.0;  ///< Mean Q_t over the session.
+  double mean_latency_ratio = 0.0;  ///< Mean epsilon_t.
+  double mean_reward = 0.0;         ///< Mean B_t = Q - w*eps.
+
+  std::size_t activations = 0;        ///< All activations (incl. warm).
+  std::size_t warm_starts = 0;        ///< Served from any remembered entry.
+  std::size_t shared_warm_starts = 0; ///< Served from the fleet pool.
+
+  double wall_seconds = 0.0;  ///< Host time spent simulating this session.
+};
+
+/// Min/mean/percentile summary of one per-session metric.
+struct MetricSummary {
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct FleetMetrics {
+  std::size_t sessions = 0;
+  double total_sim_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< End-to-end fleet wall-clock.
+  /// Simulated sessions finished per host second (the scaling figure of
+  /// merit for bench_fleet).
+  double sessions_per_sec = 0.0;
+
+  MetricSummary quality;        ///< Over per-session mean Q.
+  MetricSummary latency_ratio;  ///< Over per-session mean epsilon.
+  MetricSummary reward;         ///< Over per-session mean B.
+
+  std::size_t total_activations = 0;
+  std::size_t total_warm_starts = 0;
+  std::size_t total_shared_warm_starts = 0;
+  /// Warm starts as a fraction of all activations, in [0, 1].
+  double warm_start_rate = 0.0;
+
+  SharedSolutionPoolStats pool;  ///< Zeroed when no pool was attached.
+};
+
+/// Summarize one metric sample (throws on empty input, like percentile()).
+MetricSummary summarize_metric(const std::vector<double>& values);
+
+/// Roll per-session results up into fleet-wide metrics. `wall_seconds` is
+/// the end-to-end fleet run time (not the sum of per-session times, which
+/// overlap under multi-threading).
+FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
+                             double wall_seconds,
+                             const SharedSolutionPoolStats& pool = {});
+
+}  // namespace hbosim::fleet

@@ -1,0 +1,179 @@
+#include "hbosim/fleet/fleet_simulator.hpp"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/rng.hpp"
+#include "hbosim/common/thread_pool.hpp"
+#include "hbosim/soc/devices_builtin.hpp"
+
+namespace hbosim::fleet {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic weighted pick: maps a SplitMix64 draw onto the cumulative
+/// weight line. Weights need not be normalized.
+template <typename Entry>
+const Entry& pick_weighted(const std::vector<Entry>& entries,
+                           std::uint64_t draw) {
+  double total = 0.0;
+  for (const Entry& e : entries) total += e.weight;
+  // 53-bit mantissa uniform in [0, 1), same mapping Rng::uniform uses.
+  const double u =
+      static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  double acc = 0.0;
+  for (const Entry& e : entries) {
+    acc += e.weight;
+    if (u * total < acc) return e;
+  }
+  return entries.back();  // numerical edge: u*total == total
+}
+
+}  // namespace
+
+std::string SessionSpec::scenario_name() const {
+  return std::string(scenario::object_set_name(objects)) + "/" +
+         scenario::task_set_name(tasks);
+}
+
+void FleetSpec::validate() const {
+  HB_REQUIRE(sessions >= 1, "fleet needs at least one session");
+  HB_REQUIRE(duration_s > 0.0, "fleet session duration must be positive");
+  auto check_weights = [](const auto& mix, const char* what) {
+    double total = 0.0;
+    for (const auto& e : mix) {
+      HB_REQUIRE(e.weight >= 0.0, std::string(what) + " weight must be >= 0");
+      total += e.weight;
+    }
+    HB_REQUIRE(mix.empty() || total > 0.0,
+               std::string(what) + " mix weights sum to zero");
+  };
+  check_weights(devices, "device");
+  check_weights(scenarios, "scenario");
+  for (const DeviceMixEntry& d : devices)
+    soc::find_builtin(d.device);  // throws for unknown names
+}
+
+FleetSimulator::FleetSimulator(FleetSpec spec) : spec_(std::move(spec)) {
+  if (spec_.devices.empty()) {
+    spec_.devices = {{"Pixel 7", 1.0}, {"Galaxy S22", 1.0}};
+  }
+  if (spec_.scenarios.empty()) {
+    using scenario::ObjectSet;
+    using scenario::TaskSet;
+    spec_.scenarios = {{ObjectSet::SC1, TaskSet::CF1, 1.0},
+                       {ObjectSet::SC1, TaskSet::CF2, 1.0},
+                       {ObjectSet::SC2, TaskSet::CF1, 1.0},
+                       {ObjectSet::SC2, TaskSet::CF2, 1.0}};
+  }
+  spec_.validate();
+}
+
+SessionSpec FleetSimulator::session_spec(std::size_t id) const {
+  HB_REQUIRE(id < spec_.sessions, "session id out of range");
+  SessionSpec out;
+  out.id = id;
+  out.seed = spec_.base_seed + id;
+  // The mix draws come from a dedicated stream (not the session seed
+  // itself) so neighbouring sessions don't correlate device and noise.
+  SplitMix64 mix(spec_.base_seed ^ (0x9E3779B97F4A7C15ull * (id + 1)));
+  out.device = pick_weighted(spec_.devices, mix.next()).device;
+  const ScenarioMixEntry& sc = pick_weighted(spec_.scenarios, mix.next());
+  out.objects = sc.objects;
+  out.tasks = sc.tasks;
+  return out;
+}
+
+SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const soc::DeviceProfile device = soc::find_builtin(spec.device);
+  std::unique_ptr<app::MarApp> app =
+      scenario::make_app(device, spec.objects, spec.tasks, spec.seed);
+
+  core::MonitoredSessionConfig cfg = spec_.session;
+  cfg.hbo.seed = spec.seed;
+  if (pool_) cfg.use_lookup_table = true;
+  core::MonitoredSession session(*app, cfg);
+
+  if (pool_) {
+    // Bind this session's pool coordinates once; the environment part of
+    // the key varies per activation.
+    const PoolKey base{spec.device, spec.scenario_name(), {}};
+    SharedSolutionPool* pool = pool_.get();
+    core::SolutionStoreHooks hooks;
+    hooks.fetch = [pool, base](const core::EnvironmentKey& env) {
+      PoolKey key = base;
+      key.env = env;
+      return pool->fetch(key);
+    };
+    hooks.publish = [pool, base](const core::EnvironmentKey& env,
+                                 const core::StoredSolution& solution) {
+      PoolKey key = base;
+      key.env = env;
+      pool->publish(key, solution);
+    };
+    session.set_solution_store(std::move(hooks));
+  }
+
+  session.run_until(spec_.duration_s);
+
+  SessionResult out;
+  out.session_id = spec.id;
+  out.device = spec.device;
+  out.scenario = spec.scenario_name();
+  out.seed = spec.seed;
+  out.sim_seconds = app->sim().now();
+  out.periods = session.reward_stat().count();
+  out.mean_quality = session.quality_stat().mean();
+  out.mean_latency_ratio = session.latency_ratio_stat().mean();
+  out.mean_reward = session.reward_stat().mean();
+  out.activations = session.activations().size();
+  for (const core::SessionActivation& a : session.activations()) {
+    if (a.warm_start) ++out.warm_starts;
+    if (a.from_shared_store) ++out.shared_warm_starts;
+  }
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+FleetResult FleetSimulator::run() {
+  pool_.reset();
+  if (spec_.use_shared_pool)
+    pool_ = std::make_unique<SharedSolutionPool>(spec_.pool);
+
+  const std::size_t threads =
+      spec_.threads ? spec_.threads : ThreadPool::hardware_threads();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::future<SessionResult>> futures;
+  futures.reserve(spec_.sessions);
+  {
+    ThreadPool workers(threads);
+    for (std::size_t id = 0; id < spec_.sessions; ++id) {
+      futures.push_back(workers.submit(
+          [this, spec = session_spec(id)] { return run_session(spec); }));
+    }
+    // ThreadPool drains on destruction; collecting via get() below also
+    // rethrows any session failure to the caller.
+  }
+
+  FleetResult out;
+  out.sessions.reserve(spec_.sessions);
+  for (std::future<SessionResult>& f : futures)
+    out.sessions.push_back(f.get());
+
+  const SharedSolutionPoolStats pool_stats =
+      pool_ ? pool_->stats() : SharedSolutionPoolStats{};
+  out.metrics = aggregate_fleet(out.sessions, seconds_since(t0), pool_stats);
+  return out;
+}
+
+}  // namespace hbosim::fleet

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hbosim/core/monitored_session.hpp"
+#include "hbosim/fleet/fleet_metrics.hpp"
+#include "hbosim/fleet/shared_pool.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+
+/// \file fleet_simulator.hpp
+/// Runs hundreds-to-thousands of independent MonitoredSessions — stamped
+/// out from a device mix × scenario mix — concurrently on a worker pool,
+/// and rolls their results up into FleetMetrics.
+///
+/// Determinism: session i's device, scenario, seed, and entire simulated
+/// trajectory are pure functions of (spec, base_seed, i). Worker threads
+/// never share mutable state unless the SharedSolutionPool is enabled, so
+/// a pool-disabled fleet produces bit-identical per-session results on 1
+/// thread and on N threads. With the pool enabled, *which* sessions warm
+/// start depends on completion order and is therefore scheduling-
+/// dependent; each warm-started trajectory is still fully deterministic
+/// given the solution it received.
+
+namespace hbosim::fleet {
+
+/// One candidate device in the fleet mix, by built-in profile name.
+struct DeviceMixEntry {
+  std::string device;  ///< e.g. "Pixel 7" (see soc::builtin_devices()).
+  double weight = 1.0;
+};
+
+/// One candidate workload in the fleet mix.
+struct ScenarioMixEntry {
+  scenario::ObjectSet objects = scenario::ObjectSet::SC2;
+  scenario::TaskSet tasks = scenario::TaskSet::CF2;
+  double weight = 1.0;
+};
+
+struct FleetSpec {
+  std::size_t sessions = 256;
+  /// Worker threads; 0 means ThreadPool::hardware_threads().
+  std::size_t threads = 0;
+  /// Simulated seconds each session runs for.
+  double duration_s = 60.0;
+  /// Per-session seeds are base_seed + session_id, so any fleet slice can
+  /// be reproduced in isolation.
+  std::uint64_t base_seed = 0x5EEDu;
+
+  /// Template for every session's loop configuration. The per-session BO
+  /// seed is overridden with the session seed; use_lookup_table is forced
+  /// on when the shared pool is enabled (warm starts flow through it).
+  core::MonitoredSessionConfig session;
+
+  /// Defaults to the paper's two phones, equally weighted.
+  std::vector<DeviceMixEntry> devices;
+  /// Defaults to SC1/SC2 × CF1/CF2, equally weighted.
+  std::vector<ScenarioMixEntry> scenarios;
+
+  bool use_shared_pool = false;
+  SharedSolutionPoolConfig pool;
+
+  /// Throws hbosim::Error on nonsense (no sessions, negative weights, ...).
+  void validate() const;
+};
+
+/// The fully resolved identity of one fleet session.
+struct SessionSpec {
+  std::size_t id = 0;
+  std::string device;
+  scenario::ObjectSet objects = scenario::ObjectSet::SC2;
+  scenario::TaskSet tasks = scenario::TaskSet::CF2;
+  std::uint64_t seed = 0;
+
+  std::string scenario_name() const;  ///< "SC1/CF1" etc.
+};
+
+struct FleetResult {
+  std::vector<SessionResult> sessions;  ///< Ordered by session_id.
+  FleetMetrics metrics;
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetSpec spec);
+
+  /// Resolve session `id`'s device/scenario/seed. Deterministic in
+  /// (spec, id); independent of threads and of other sessions.
+  SessionSpec session_spec(std::size_t id) const;
+
+  /// Simulate one session to completion on the calling thread.
+  SessionResult run_session(const SessionSpec& spec) const;
+
+  /// Run the whole fleet (blocking). Safe to call repeatedly; each call
+  /// starts from a fresh pool.
+  FleetResult run();
+
+  const FleetSpec& spec() const { return spec_; }
+  /// Null unless use_shared_pool; reset at the start of every run().
+  const SharedSolutionPool* pool() const { return pool_.get(); }
+
+ private:
+  FleetSpec spec_;
+  std::unique_ptr<SharedSolutionPool> pool_;
+};
+
+}  // namespace hbosim::fleet

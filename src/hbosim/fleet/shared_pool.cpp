@@ -1,0 +1,49 @@
+#include "hbosim/fleet/shared_pool.hpp"
+
+namespace hbosim::fleet {
+
+std::string PoolKey::str() const {
+  return edge::compose_key({device, scenario,
+                            "tri" + std::to_string(env.triangle_bucket),
+                            "dist" + std::to_string(env.distance_bucket),
+                            "task" + std::to_string(env.taskset_hash)});
+}
+
+SharedSolutionPool::SharedSolutionPool(SharedSolutionPoolConfig cfg)
+    : cfg_(cfg), cache_(cfg.capacity) {}
+
+std::optional<core::StoredSolution> SharedSolutionPool::fetch(
+    const PoolKey& key) {
+  const std::string k = key.str();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const core::StoredSolution* found = cache_.get(k)) {
+    ++hits_;
+    return *found;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void SharedSolutionPool::publish(const PoolKey& key,
+                                 const core::StoredSolution& solution) {
+  const std::string k = key.str();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+  if (const core::StoredSolution* existing = cache_.get(k)) {
+    if (existing->cost <= solution.cost) return;  // keep the better entry
+  }
+  cache_.put(k, solution);
+}
+
+SharedSolutionPoolStats SharedSolutionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SharedSolutionPoolStats out;
+  out.size = cache_.size();
+  out.stores = stores_;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = cache_.evictions();
+  return out;
+}
+
+}  // namespace hbosim::fleet

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "hbosim/core/lookup_table.hpp"
+#include "hbosim/edge/cache.hpp"
+
+/// \file shared_pool.hpp
+/// The fleet-wide, cross-session extension of the Section VI solution
+/// lookup table. One session's converged configuration warm-starts every
+/// other session that encounters the same (device, scenario, environment)
+/// conditions — the paper's "optimization results should be shared across
+/// users" direction, made concrete.
+///
+/// The pool is a mutex-guarded LRU (reusing the edge cache mechanics and
+/// key scheme) because fleet accesses are coarse-grained: one fetch per
+/// activation, one publish per full activation — contention is negligible
+/// even at thousands of sessions.
+
+namespace hbosim::fleet {
+
+/// Identifies which solutions are mutually applicable across sessions:
+/// same device model, same scenario (object set × taskset), and the same
+/// quantized environmental conditions the per-session table already keys
+/// on.
+struct PoolKey {
+  std::string device;    ///< DeviceProfile name, e.g. "Pixel 7".
+  std::string scenario;  ///< e.g. "SC1/CF1".
+  core::EnvironmentKey env;
+
+  /// Flattened string form, composed with the edge cache key scheme.
+  std::string str() const;
+};
+
+struct SharedSolutionPoolConfig {
+  /// Max remembered (device, scenario, environment) entries; the least
+  /// recently touched entry is evicted beyond this.
+  std::size_t capacity = 4096;
+};
+
+struct SharedSolutionPoolStats {
+  std::size_t size = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+
+  /// Fraction of fetches served, in [0, 1]; 0 when nothing was fetched.
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class SharedSolutionPool {
+ public:
+  explicit SharedSolutionPool(SharedSolutionPoolConfig cfg = {});
+
+  /// Thread-safe lookup; refreshes the entry's recency on a hit.
+  std::optional<core::StoredSolution> fetch(const PoolKey& key);
+
+  /// Thread-safe insert. On collision the lower-cost solution wins (same
+  /// policy as the per-session table); insertion beyond capacity evicts
+  /// the least recently used entry.
+  void publish(const PoolKey& key, const core::StoredSolution& solution);
+
+  SharedSolutionPoolStats stats() const;
+
+ private:
+  SharedSolutionPoolConfig cfg_;
+  mutable std::mutex mu_;
+  edge::BasicLruCache<core::StoredSolution> cache_;
+  // fetch()/publish() traffic counted here, not via the LRU's counters:
+  // publish() probes the cache too, which would skew a fetch hit rate.
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace hbosim::fleet

@@ -1,5 +1,7 @@
 #include "hbosim/soc/devices_builtin.hpp"
 
+#include "hbosim/common/error.hpp"
+
 namespace hbosim::soc {
 
 namespace {
@@ -105,6 +107,16 @@ std::vector<DeviceProfile> builtin_devices() {
   out.push_back(pixel7());
   out.push_back(synthetic_midtier());
   return out;
+}
+
+DeviceProfile find_builtin(const std::string& name) {
+  std::string known;
+  for (DeviceProfile& d : builtin_devices()) {
+    if (d.name() == name) return std::move(d);
+    if (!known.empty()) known += ", ";
+    known += d.name();
+  }
+  throw Error("unknown built-in device '" + name + "' (have: " + known + ")");
 }
 
 }  // namespace hbosim::soc

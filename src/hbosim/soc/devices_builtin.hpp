@@ -27,4 +27,9 @@ DeviceProfile synthetic_midtier();
 /// All built-in devices, in a stable order.
 std::vector<DeviceProfile> builtin_devices();
 
+/// Look up a built-in device by its profile name (e.g. "Pixel 7"); throws
+/// hbosim::Error naming the known devices on a miss. Fleet specs reference
+/// devices by name so they stay plain data.
+DeviceProfile find_builtin(const std::string& name);
+
 }  // namespace hbosim::soc

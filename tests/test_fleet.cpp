@@ -1,0 +1,212 @@
+// Tests for hbosim::fleet: deterministic session stamping, the shared
+// cross-session solution pool, and the fleet determinism guarantee (same
+// per-session aggregates regardless of thread count).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/fleet/fleet_simulator.hpp"
+
+namespace hbosim {
+namespace {
+
+/// A fleet config small and fast enough for unit tests: the light object
+/// set / taskset and a truncated activation loop.
+fleet::FleetSpec fast_fleet(std::size_t sessions, std::size_t threads) {
+  fleet::FleetSpec spec;
+  spec.sessions = sessions;
+  spec.threads = threads;
+  spec.duration_s = 14.0;
+  spec.session.hbo.n_initial = 2;
+  spec.session.hbo.n_iterations = 2;
+  spec.session.hbo.selection_candidates = 1;
+  spec.session.hbo.control_period_s = 1.0;
+  spec.session.hbo.monitor_period_s = 1.0;
+  spec.session.reference_periods = 2;
+  spec.scenarios = {{scenario::ObjectSet::SC2, scenario::TaskSet::CF2, 1.0}};
+  return spec;
+}
+
+TEST(FleetSpec, ValidateRejectsNonsense) {
+  fleet::FleetSpec spec;
+  spec.sessions = 0;
+  EXPECT_THROW(fleet::FleetSimulator{spec}, Error);
+
+  spec = fleet::FleetSpec{};
+  spec.duration_s = 0.0;
+  EXPECT_THROW(fleet::FleetSimulator{spec}, Error);
+
+  spec = fleet::FleetSpec{};
+  spec.devices = {{"No Such Phone", 1.0}};
+  EXPECT_THROW(fleet::FleetSimulator{spec}, Error);
+
+  spec = fleet::FleetSpec{};
+  spec.devices = {{"Pixel 7", -1.0}};
+  EXPECT_THROW(fleet::FleetSimulator{spec}, Error);
+}
+
+TEST(FleetSimulator, SessionSpecsAreDeterministicAndSeededByOffset) {
+  fleet::FleetSpec spec;  // default mixes: 2 devices x 4 scenarios
+  spec.sessions = 64;
+  spec.base_seed = 42;
+  fleet::FleetSimulator a(spec), b(spec);
+  std::map<std::string, int> devices;
+  for (std::size_t i = 0; i < spec.sessions; ++i) {
+    const fleet::SessionSpec sa = a.session_spec(i);
+    const fleet::SessionSpec sb = b.session_spec(i);
+    EXPECT_EQ(sa.device, sb.device);
+    EXPECT_EQ(sa.scenario_name(), sb.scenario_name());
+    EXPECT_EQ(sa.seed, 42u + i);
+    ++devices[sa.device];
+  }
+  // Both equally-weighted devices actually appear in a 64-session fleet.
+  EXPECT_EQ(devices.size(), 2u);
+  EXPECT_THROW(a.session_spec(spec.sessions), Error);
+}
+
+TEST(FleetSimulator, ZeroWeightEntriesAreNeverPicked) {
+  fleet::FleetSpec spec = fast_fleet(32, 1);
+  spec.devices = {{"Pixel 7", 1.0}, {"Galaxy S22", 0.0}};
+  fleet::FleetSimulator fleet(spec);
+  for (std::size_t i = 0; i < spec.sessions; ++i)
+    EXPECT_EQ(fleet.session_spec(i).device, "Pixel 7");
+}
+
+TEST(SharedSolutionPool, FetchPublishCountersAndCollisionPolicy) {
+  fleet::SharedSolutionPool pool;
+  fleet::PoolKey key{"Pixel 7", "SC2/CF2", {12, 4, 99}};
+
+  EXPECT_FALSE(pool.fetch(key).has_value());
+  pool.publish(key, {{0.5, 0.5, 0.0, 0.8}, -1.0});
+  const auto hit = pool.fetch(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->cost, -1.0);
+
+  // Collision: the worse (higher-cost) solution is ignored, the better
+  // one replaces.
+  pool.publish(key, {{1.0, 0.0, 0.0, 1.0}, -0.5});
+  EXPECT_DOUBLE_EQ(pool.fetch(key)->cost, -1.0);
+  pool.publish(key, {{1.0, 0.0, 0.0, 1.0}, -2.0});
+  EXPECT_DOUBLE_EQ(pool.fetch(key)->cost, -2.0);
+
+  const fleet::SharedSolutionPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 3u);
+  EXPECT_NEAR(stats.hit_rate(), 0.75, 1e-12);
+
+  // Distinct devices / scenarios / environments do not alias.
+  EXPECT_FALSE(pool.fetch({"Galaxy S22", "SC2/CF2", {12, 4, 99}}).has_value());
+  EXPECT_FALSE(pool.fetch({"Pixel 7", "SC1/CF2", {12, 4, 99}}).has_value());
+  EXPECT_FALSE(pool.fetch({"Pixel 7", "SC2/CF2", {13, 4, 99}}).has_value());
+}
+
+TEST(SharedSolutionPool, EvictsLeastRecentlyUsedAtCapacity) {
+  fleet::SharedSolutionPoolConfig cfg;
+  cfg.capacity = 2;
+  fleet::SharedSolutionPool pool(cfg);
+  fleet::PoolKey a{"d", "s", {1, 0, 0}};
+  fleet::PoolKey b{"d", "s", {2, 0, 0}};
+  fleet::PoolKey c{"d", "s", {3, 0, 0}};
+  pool.publish(a, {{}, -1.0});
+  pool.publish(b, {{}, -1.0});
+  EXPECT_TRUE(pool.fetch(a).has_value());  // refresh a; b is now LRU
+  pool.publish(c, {{}, -1.0});             // evicts b
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_TRUE(pool.fetch(a).has_value());
+  EXPECT_FALSE(pool.fetch(b).has_value());
+  EXPECT_TRUE(pool.fetch(c).has_value());
+}
+
+// The acceptance-criteria test: a pool-disabled fleet produces identical
+// per-session aggregates on 1 thread and on several threads.
+TEST(FleetSimulator, PerSessionResultsAreThreadCountInvariant) {
+  const std::size_t kSessions = 64;
+  fleet::FleetResult serial = fleet::FleetSimulator(fast_fleet(kSessions, 1)).run();
+  fleet::FleetResult threaded =
+      fleet::FleetSimulator(fast_fleet(kSessions, 4)).run();
+
+  ASSERT_EQ(serial.sessions.size(), kSessions);
+  ASSERT_EQ(threaded.sessions.size(), kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const fleet::SessionResult& a = serial.sessions[i];
+    const fleet::SessionResult& b = threaded.sessions[i];
+    EXPECT_EQ(a.session_id, i);
+    EXPECT_EQ(b.session_id, i);
+    EXPECT_EQ(a.device, b.device);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.periods, b.periods);
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.warm_starts, b.warm_starts);
+    // Bit-identical trajectories, not merely close ones.
+    EXPECT_EQ(a.mean_quality, b.mean_quality) << "session " << i;
+    EXPECT_EQ(a.mean_latency_ratio, b.mean_latency_ratio) << "session " << i;
+    EXPECT_EQ(a.mean_reward, b.mean_reward) << "session " << i;
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds) << "session " << i;
+  }
+  // Every session actually ran its initial activation.
+  EXPECT_GE(serial.metrics.total_activations, kSessions);
+  EXPECT_GT(serial.metrics.reward.mean, serial.metrics.reward.min - 1.0);
+}
+
+// Enabling the shared pool lets later sessions warm-start from earlier
+// sessions' solutions: nonzero hit rate, nonzero shared warm starts.
+TEST(FleetSimulator, SharedPoolProducesCrossSessionWarmStarts) {
+  fleet::FleetSpec spec = fast_fleet(12, 2);
+  spec.devices = {{"Pixel 7", 1.0}};  // one key -> guaranteed sharing
+  spec.use_shared_pool = true;
+  spec.session.warm_start_tolerance = 10.0;  // accept pooled configs
+  fleet::FleetSimulator fleet(spec);
+  const fleet::FleetResult result = fleet.run();
+
+  const fleet::SharedSolutionPoolStats pool = result.metrics.pool;
+  EXPECT_GT(pool.stores, 0u);
+  EXPECT_GT(pool.hits, 0u);
+  EXPECT_GT(pool.hit_rate(), 0.0);
+  EXPECT_GT(result.metrics.total_shared_warm_starts, 0u);
+  EXPECT_GT(result.metrics.warm_start_rate, 0.0);
+  // Only sessions after the first publisher can share; the first full
+  // activation is always a miss.
+  EXPECT_LT(result.metrics.total_shared_warm_starts,
+            result.metrics.total_activations);
+}
+
+TEST(FleetMetrics, AggregateComputesPercentilesAndThroughput) {
+  std::vector<fleet::SessionResult> sessions(5);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    sessions[i].session_id = i;
+    sessions[i].mean_quality = 0.5 + 0.1 * static_cast<double>(i);
+    sessions[i].mean_latency_ratio = 0.1;
+    sessions[i].mean_reward = static_cast<double>(i);
+    sessions[i].sim_seconds = 10.0;
+    sessions[i].activations = 2;
+    sessions[i].warm_starts = 1;
+  }
+  const fleet::FleetMetrics m = fleet::aggregate_fleet(sessions, 2.0);
+  EXPECT_EQ(m.sessions, 5u);
+  EXPECT_DOUBLE_EQ(m.total_sim_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(m.sessions_per_sec, 2.5);
+  EXPECT_DOUBLE_EQ(m.reward.p50, 2.0);
+  EXPECT_DOUBLE_EQ(m.reward.min, 0.0);
+  EXPECT_DOUBLE_EQ(m.reward.max, 4.0);
+  EXPECT_DOUBLE_EQ(m.reward.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m.quality.p90, 0.86);
+  EXPECT_DOUBLE_EQ(m.warm_start_rate, 0.5);
+  EXPECT_EQ(m.total_activations, 10u);
+}
+
+TEST(FleetMetrics, PercentileHelperInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0}, 100.0), 3.0);
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile({1.0}, 101.0), Error);
+}
+
+}  // namespace
+}  // namespace hbosim

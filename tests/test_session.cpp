@@ -84,6 +84,116 @@ TEST(MonitoredSession, LookupTableServesRepeatedEnvironments) {
   EXPECT_TRUE(any_warm);
 }
 
+TEST(MonitoredSession, WarmStartAcceptedWithinTolerance) {
+  auto cfg = fast_session();
+  cfg.use_lookup_table = true;
+  cfg.warm_start_tolerance = 0.15;
+
+  app::MarApp app(soc::pixel7());
+  for (const auto& t : scenario::task_specs(scenario::TaskSet::CF2))
+    app.add_task(t.model, t.label);
+  app.add_object(scenario::mesh_asset("cabin"), 1.5);
+  core::MonitoredSession session(app, cfg);
+
+  // Remember a solution whose recorded cost is pessimistic: whatever the
+  // measured cost turns out to be, it is within tolerance of +100, so the
+  // warm start must be accepted and no exploration history produced.
+  session.lookup_table().store(
+      core::SolutionLookupTable::make_key(app),
+      core::StoredSolution{{1.0, 0.0, 0.0, 1.0}, /*cost=*/100.0});
+
+  ASSERT_TRUE(session.tick());  // first placement -> activation
+  ASSERT_EQ(session.activations().size(), 1u);
+  EXPECT_TRUE(session.activations().front().warm_start);
+  EXPECT_FALSE(session.activations().front().from_shared_store);
+  EXPECT_TRUE(session.activations().front().result.history.empty());
+}
+
+TEST(MonitoredSession, WarmStartRejectedWhenRememberedCostUnderperforms) {
+  auto cfg = fast_session();
+  cfg.use_lookup_table = true;
+  cfg.warm_start_tolerance = 0.15;
+
+  app::MarApp app(soc::pixel7());
+  for (const auto& t : scenario::task_specs(scenario::TaskSet::CF2))
+    app.add_task(t.model, t.label);
+  app.add_object(scenario::mesh_asset("cabin"), 1.5);
+  core::MonitoredSession session(app, cfg);
+
+  // Remember an impossibly good cost: the measured warm-start cost is
+  // guaranteed to underperform it beyond the tolerance, so the session
+  // must fall back to a full Bayesian activation.
+  session.lookup_table().store(
+      core::SolutionLookupTable::make_key(app),
+      core::StoredSolution{{1.0, 0.0, 0.0, 1.0}, /*cost=*/-1000.0});
+
+  ASSERT_TRUE(session.tick());
+  ASSERT_EQ(session.activations().size(), 1u);
+  EXPECT_FALSE(session.activations().front().warm_start);
+  EXPECT_FALSE(session.activations().front().result.history.empty());
+  // The rejected entry was consulted (a table hit) and then replaced by
+  // the freshly measured solution, which has a believable cost.
+  EXPECT_GE(session.lookup_table().hits(), 1u);
+  const auto stored = session.lookup_table().find(
+      core::SolutionLookupTable::make_key(app));
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_GT(stored->cost, -1000.0);
+}
+
+TEST(MonitoredSession, ExternalStoreServesWarmStartOnLocalMiss) {
+  auto cfg = fast_session();
+  cfg.use_lookup_table = true;
+  cfg.warm_start_tolerance = 100.0;
+
+  app::MarApp app(soc::pixel7());
+  for (const auto& t : scenario::task_specs(scenario::TaskSet::CF2))
+    app.add_task(t.model, t.label);
+  app.add_object(scenario::mesh_asset("cabin"), 1.5);
+  core::MonitoredSession session(app, cfg);
+
+  int fetches = 0;
+  core::SolutionStoreHooks hooks;
+  hooks.fetch = [&fetches](const core::EnvironmentKey&) {
+    ++fetches;
+    return std::optional<core::StoredSolution>(
+        core::StoredSolution{{1.0, 0.0, 0.0, 1.0}, 50.0});
+  };
+  session.set_solution_store(std::move(hooks));
+
+  ASSERT_TRUE(session.tick());
+  EXPECT_EQ(fetches, 1);
+  ASSERT_EQ(session.activations().size(), 1u);
+  EXPECT_TRUE(session.activations().front().warm_start);
+  EXPECT_TRUE(session.activations().front().from_shared_store);
+  // The pooled solution is adopted into the local table.
+  EXPECT_EQ(session.lookup_table().size(), 1u);
+}
+
+TEST(MonitoredSession, FullActivationPublishesToExternalStore) {
+  auto cfg = fast_session();
+  cfg.use_lookup_table = true;
+
+  app::MarApp app(soc::pixel7());
+  for (const auto& t : scenario::task_specs(scenario::TaskSet::CF2))
+    app.add_task(t.model, t.label);
+  app.add_object(scenario::mesh_asset("cabin"), 1.5);
+  core::MonitoredSession session(app, cfg);
+
+  std::vector<core::StoredSolution> published;
+  core::SolutionStoreHooks hooks;
+  hooks.publish = [&published](const core::EnvironmentKey&,
+                               const core::StoredSolution& s) {
+    published.push_back(s);
+  };
+  session.set_solution_store(std::move(hooks));
+
+  ASSERT_TRUE(session.tick());  // full activation (no fetch hook, empty table)
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_FALSE(published.front().z.empty());
+  EXPECT_FALSE(session.activations().front().warm_start);
+  EXPECT_GT(session.reward_stat().count(), 0u);  // streaming stats flow
+}
+
 TEST(MonitoredSession, InvalidConfigThrows) {
   app::MarApp app(soc::pixel7());
   app.add_task("mnist", "d");

@@ -1,0 +1,76 @@
+// Tests for the fixed-size worker pool the fleet engine runs on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/thread_pool.hpp"
+
+namespace hbosim {
+namespace {
+
+TEST(ThreadPool, ReturnsTaskResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 500; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughTheFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ShutdownIsGracefulAndIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 20);  // queued work finished, not dropped
+  pool.shutdown();             // no-op
+  EXPECT_THROW(pool.submit([] { return 1; }), Error);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), Error); }
+
+TEST(ThreadPool, PendingDrainsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit([] {}));
+  for (auto& f : futures) f.get();
+  pool.shutdown();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace hbosim
