@@ -7,6 +7,12 @@
 /// Covariance kernels for the Gaussian-process surrogate. The paper uses
 /// Matérn with nu = 5/2 and length scale l = 1 (its Eq. 7); an RBF kernel
 /// is provided for the ablation bench.
+///
+/// All hbosim kernels are stationary: k(a, b) depends only on the
+/// Euclidean distance r = ||a - b||. The class contract exposes that
+/// structure directly (from_distance) so the optimizer can cache the
+/// pairwise distance matrix once and re-derive the Gram matrix for every
+/// length-scale candidate in O(n^2) with no repeated distance work.
 
 namespace hbosim::bo {
 
@@ -14,9 +20,21 @@ class Kernel {
  public:
   virtual ~Kernel() = default;
 
+  /// Covariance as a function of distance r = ||a - b|| >= 0. This is the
+  /// kernel's defining form; it uses libm transcendentals, so values are
+  /// bitwise reproducible against operator().
+  virtual double from_distance(double r) const = 0;
+
+  /// Batched covariance from distances: out[i] = k(r[i]). out may alias
+  /// r. The default loops over from_distance; subclasses override with a
+  /// vectorized form (common/fastmath) that may differ from the scalar
+  /// path by a couple of ulp — callers that need bitwise agreement with
+  /// from_distance (Gram construction) must use the scalar entry point.
+  virtual void from_distance_many(std::span<const double> r,
+                                  std::span<double> out) const;
+
   /// Covariance k(a, b); a and b must share the space's dimension.
-  virtual double operator()(std::span<const double> a,
-                            std::span<const double> b) const = 0;
+  double operator()(std::span<const double> a, std::span<const double> b) const;
 
   /// Prior variance k(x, x).
   virtual double prior_variance() const = 0;
@@ -30,8 +48,9 @@ class Matern52 final : public Kernel {
  public:
   explicit Matern52(double length_scale = 1.0, double sigma_f = 1.0);
 
-  double operator()(std::span<const double> a,
-                    std::span<const double> b) const override;
+  double from_distance(double r) const override;
+  void from_distance_many(std::span<const double> r,
+                          std::span<double> out) const override;
   double prior_variance() const override;
   std::unique_ptr<Kernel> clone() const override;
 
@@ -47,8 +66,9 @@ class Rbf final : public Kernel {
  public:
   explicit Rbf(double length_scale = 1.0, double sigma_f = 1.0);
 
-  double operator()(std::span<const double> a,
-                    std::span<const double> b) const override;
+  double from_distance(double r) const override;
+  void from_distance_many(std::span<const double> r,
+                          std::span<double> out) const override;
   double prior_variance() const override;
   std::unique_ptr<Kernel> clone() const override;
 
@@ -63,8 +83,9 @@ class Matern32 final : public Kernel {
  public:
   explicit Matern32(double length_scale = 1.0, double sigma_f = 1.0);
 
-  double operator()(std::span<const double> a,
-                    std::span<const double> b) const override;
+  double from_distance(double r) const override;
+  void from_distance_many(std::span<const double> r,
+                          std::span<double> out) const override;
   double prior_variance() const override;
   std::unique_ptr<Kernel> clone() const override;
 

@@ -41,6 +41,9 @@ std::unique_ptr<Kernel> BayesianOptimizer::make_kernel(
 
 void BayesianOptimizer::set_kernel(std::unique_ptr<Kernel> kernel) {
   kernel_override_ = std::move(kernel);
+  // The live surrogates were built for the old kernel; drop them so the
+  // next suggest() rebuilds from the (still valid) distance cache.
+  grid_gps_.clear();
 }
 
 std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
@@ -59,6 +62,16 @@ std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
     for (auto& v : y) v = (v - m) / scale;
   }
 
+  return cfg_.incremental_gp ? suggest_incremental(rng, y)
+                             : suggest_full_refit(rng, y);
+}
+
+/// The original suggestion path: refit every length-scale candidate from
+/// scratch, score acquisition candidates one predict() at a time. Kept
+/// verbatim as the reference the incremental path is validated (and
+/// benchmarked) against.
+std::vector<double> BayesianOptimizer::suggest_full_refit(
+    Rng& rng, const std::vector<double>& y) {
   std::vector<std::vector<double>> x;
   x.reserve(data_.size());
   for (const auto& obs : data_) x.push_back(obs.z);
@@ -109,20 +122,128 @@ std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
   return best_candidate;
 }
 
+void BayesianOptimizer::sync_grid_gps(const std::vector<double>& y) {
+  std::vector<double> grid = cfg_.length_scale_grid;
+  if (grid.empty() || kernel_override_) grid = {1.0};
+
+  // tell() keeps live surrogates in lockstep with data_; a mismatch means
+  // they were invalidated (set_kernel, or created before this config path
+  // existed) and must be rebuilt from the distance cache.
+  const bool rebuild = grid_gps_.size() != grid.size() ||
+                       (!grid_gps_.empty() &&
+                        grid_gps_.front().gp.observation_count() != data_.size());
+  if (rebuild) grid_gps_.clear();
+
+  if (grid_gps_.empty()) {
+    std::vector<std::vector<double>> x;
+    x.reserve(data_.size());
+    for (const auto& obs : data_) x.push_back(obs.z);
+    grid_gps_.reserve(grid.size());
+    for (double factor : grid) {
+      grid_gps_.push_back(GridGp{
+          factor, GaussianProcess(make_kernel(cfg_.length_scale * factor),
+                                  cfg_.gp)});
+      grid_gps_.back().gp.fit(x, y, dist_);
+    }
+    return;
+  }
+
+  // Steady state: the factors are current (grown by tell()); only the
+  // standardized targets change between suggests. O(G n^2).
+  for (auto& g : grid_gps_) g.gp.set_targets(y);
+}
+
+std::vector<double> BayesianOptimizer::suggest_incremental(
+    Rng& rng, const std::vector<double>& y) {
+  sync_grid_gps(y);
+
+  // Same length-scale selection rule as the full-refit path (first
+  // strictly greater wins, grid order): the factors are identical, so the
+  // marginal likelihoods — and the winner — are too.
+  GaussianProcess* gp = nullptr;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  for (auto& g : grid_gps_) {
+    const double lml = g.gp.log_marginal_likelihood();
+    if (lml > best_lml) {
+      best_lml = lml;
+      gp = &g.gp;
+    }
+  }
+  HB_ASSERT(gp != nullptr, "no grid surrogate available");
+
+  const double best_y = *std::min_element(y.begin(), y.end());
+  const std::vector<double>& incumbent = best().z;
+
+  // Generate the candidate set with the exact RNG call sequence of the
+  // full-refit path, packed flat for the batched predict.
+  const std::size_t dim = space_.dim();
+  const std::size_t total = static_cast<std::size_t>(cfg_.n_random_candidates) +
+                            static_cast<std::size_t>(cfg_.n_local_candidates);
+  cand_flat_.resize(total * dim);
+  std::size_t w = 0;
+  for (int i = 0; i < cfg_.n_random_candidates; ++i)
+    space_.sample_into({cand_flat_.data() + (w++) * dim, dim}, rng);
+  for (int i = 0; i < cfg_.n_local_candidates; ++i) {
+    const double scale =
+        (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
+    space_.perturb_into(incumbent, scale, rng,
+                        {cand_flat_.data() + (w++) * dim, dim}, clip_scratch_);
+  }
+
+  preds_.resize(total);
+  gp->predict_many(cand_flat_, total, preds_, batch_scratch_);
+
+  // First-strictly-greater argmax in generation order, matching the
+  // full-refit path's incremental `consider` rule.
+  std::size_t best_idx = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < total; ++c) {
+    const double score = acquisition_score(
+        cfg_.acquisition, preds_[c].mean, std::sqrt(preds_[c].variance),
+        best_y, cfg_.acq_params);
+    if (score > best_score) {
+      best_score = score;
+      best_idx = c;
+    }
+  }
+  const double* zb = cand_flat_.data() + best_idx * dim;
+  return std::vector<double>(zb, zb + dim);
+}
+
 void BayesianOptimizer::tell(std::vector<double> z, double cost) {
   HB_REQUIRE(space_.contains(z, 1e-6),
              "tell(): configuration violates Constraints 8-10");
   HB_REQUIRE(std::isfinite(cost), "tell(): cost must be finite");
+
+  const std::size_t n = data_.size();
+  if (cfg_.incremental_gp) {
+    // Extend the cached distance matrix by the new point's row/column.
+    // Every kernel is stationary, so this one matrix serves the Gram of
+    // every length-scale candidate for the lifetime of the run.
+    dist_.conservative_resize(n + 1, n + 1);
+    std::span<double> dn = dist_.row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = euclidean_distance(z, data_[i].z);
+      dn[i] = d;
+      dist_(i, n) = d;
+    }
+    dn[n] = 0.0;
+
+    // Grow each live surrogate's Cholesky factor in place (O(n^2) per
+    // grid entry). Targets are stale until the next suggest() calls
+    // set_targets() with freshly standardized costs.
+    for (auto& g : grid_gps_) g.gp.append_point(z, dn.first(n));
+  }
+
+  // Incumbent maintenance (best() is O(1)): strict `<` keeps the earliest
+  // minimum, matching what a front-to-back rescan would select.
+  if (data_.empty() || cost < data_[best_idx_].cost) best_idx_ = n;
   data_.push_back(Observation{std::move(z), cost});
 }
 
 const Observation& BayesianOptimizer::best() const {
   HB_REQUIRE(!data_.empty(), "best() with no observations");
-  std::size_t best_idx = 0;
-  for (std::size_t i = 1; i < data_.size(); ++i) {
-    if (data_[i].cost < data_[best_idx].cost) best_idx = i;
-  }
-  return data_[best_idx];
+  return data_[best_idx_];
 }
 
 }  // namespace hbosim::bo

@@ -17,28 +17,51 @@ SimplexBoxSpace::SimplexBoxSpace(std::size_t n_simplex, double box_lo,
 }
 
 std::vector<double> SimplexBoxSpace::sample(Rng& rng) const {
-  std::vector<double> z = rng.dirichlet(n_simplex_);
-  z.push_back(rng.uniform(box_lo_, box_hi_));
+  std::vector<double> z(dim());
+  sample_into(z, rng);
   return z;
 }
 
+void SimplexBoxSpace::sample_into(std::span<double> out, Rng& rng) const {
+  HB_REQUIRE(out.size() == dim(), "point dimension mismatch");
+  rng.dirichlet(out.first(n_simplex_));
+  out[n_simplex_] = rng.uniform(box_lo_, box_hi_);
+}
+
 std::vector<double> SimplexBoxSpace::clip(std::span<const double> z) const {
-  HB_REQUIRE(z.size() == dim(), "point dimension mismatch");
-  std::vector<double> c =
-      project_to_simplex(std::span<const double>(z.data(), n_simplex_));
-  c.push_back(clampd(z[n_simplex_], box_lo_, box_hi_));
+  std::vector<double> c(dim());
+  std::vector<double> scratch;
+  clip_into(z, c, scratch);
   return c;
+}
+
+void SimplexBoxSpace::clip_into(std::span<const double> z,
+                                std::span<double> out,
+                                std::vector<double>& scratch) const {
+  HB_REQUIRE(z.size() == dim(), "point dimension mismatch");
+  HB_REQUIRE(out.size() == dim(), "output dimension mismatch");
+  project_to_simplex(z.first(n_simplex_), out.first(n_simplex_), scratch);
+  out[n_simplex_] = clampd(z[n_simplex_], box_lo_, box_hi_);
 }
 
 std::vector<double> SimplexBoxSpace::perturb(std::span<const double> z,
                                              double scale, Rng& rng) const {
+  std::vector<double> out(dim());
+  std::vector<double> scratch;
+  perturb_into(z, scale, rng, out, scratch);
+  return out;
+}
+
+void SimplexBoxSpace::perturb_into(std::span<const double> z, double scale,
+                                   Rng& rng, std::span<double> out,
+                                   std::vector<double>& scratch) const {
   HB_REQUIRE(z.size() == dim(), "point dimension mismatch");
   HB_REQUIRE(scale > 0.0, "perturbation scale must be positive");
-  std::vector<double> out(z.begin(), z.end());
+  HB_REQUIRE(out.size() == dim(), "output dimension mismatch");
   for (std::size_t i = 0; i < n_simplex_; ++i)
-    out[i] += rng.normal(0.0, scale);
-  out[n_simplex_] += rng.normal(0.0, scale * (box_hi_ - box_lo_));
-  return clip(out);
+    out[i] = z[i] + rng.normal(0.0, scale);
+  out[n_simplex_] = z[n_simplex_] + rng.normal(0.0, scale * (box_hi_ - box_lo_));
+  clip_into(out, out, scratch);
 }
 
 bool SimplexBoxSpace::contains(std::span<const double> z, double tol) const {

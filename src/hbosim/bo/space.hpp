@@ -29,14 +29,31 @@ class SimplexBoxSpace {
   /// Uniform-ish random point: Dirichlet(1) on the simplex, uniform box.
   std::vector<double> sample(Rng& rng) const;
 
+  /// Same draw written into `out` (size dim()) without allocating.
+  /// Consumes the identical generator sequence and produces bitwise the
+  /// same point as sample() — the BO hot loop packs hundreds of candidates
+  /// per suggest into one flat buffer through this overload.
+  void sample_into(std::span<double> out, Rng& rng) const;
+
   /// Project an arbitrary point into the feasible set: Euclidean simplex
   /// projection for c, clamp for x.
   std::vector<double> clip(std::span<const double> z) const;
+
+  /// clip() into `out` (size dim(); may alias z). `scratch` is reused
+  /// sort space for the simplex projection, making the call
+  /// allocation-free at steady state. Bitwise identical to clip().
+  void clip_into(std::span<const double> z, std::span<double> out,
+                 std::vector<double>& scratch) const;
 
   /// Gaussian perturbation of a feasible point, re-projected. `scale` is
   /// the stddev relative to each coordinate's range.
   std::vector<double> perturb(std::span<const double> z, double scale,
                               Rng& rng) const;
+
+  /// perturb() into `out` (size dim(); must not alias z). Same generator
+  /// sequence and bitwise the same point as perturb().
+  void perturb_into(std::span<const double> z, double scale, Rng& rng,
+                    std::span<double> out, std::vector<double>& scratch) const;
 
   /// Feasibility check within tolerance.
   bool contains(std::span<const double> z, double tol = 1e-9) const;

@@ -82,31 +82,37 @@ bool approx_equal(double a, double b, double rtol, double atol) {
 }
 
 std::vector<double> project_to_simplex(std::span<const double> v) {
+  std::vector<double> out(v.size());
+  std::vector<double> scratch;
+  project_to_simplex(v, out, scratch);
+  return out;
+}
+
+void project_to_simplex(std::span<const double> v, std::span<double> out,
+                        std::vector<double>& scratch) {
   HB_REQUIRE(!v.empty(), "project_to_simplex: empty input");
-  std::vector<double> u(v.begin(), v.end());
-  std::sort(u.begin(), u.end(), std::greater<>());
+  HB_REQUIRE(out.size() == v.size(), "project_to_simplex: size mismatch");
+  scratch.assign(v.begin(), v.end());
+  std::sort(scratch.begin(), scratch.end(), std::greater<>());
   double css = 0.0;
-  double theta = 0.0;
   std::size_t rho = 0;
   double cum = 0.0;
-  for (std::size_t i = 0; i < u.size(); ++i) {
-    cum += u[i];
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    cum += scratch[i];
     const double t = (cum - 1.0) / static_cast<double>(i + 1);
-    if (u[i] - t > 0.0) {
+    if (scratch[i] - t > 0.0) {
       rho = i + 1;
       css = cum;
     }
   }
   if (rho == 0) {
     // All mass below threshold; return uniform point.
-    std::vector<double> out(v.size(), 1.0 / static_cast<double>(v.size()));
-    return out;
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(v.size()));
+    return;
   }
-  theta = (css - 1.0) / static_cast<double>(rho);
-  std::vector<double> out(v.size());
+  const double theta = (css - 1.0) / static_cast<double>(rho);
   for (std::size_t i = 0; i < v.size(); ++i)
     out[i] = std::max(v[i] - theta, 0.0);
-  return out;
 }
 
 }  // namespace hbosim

@@ -43,4 +43,11 @@ bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
 /// (Euclidean projection, algorithm of Wang & Carreira-Perpinan).
 std::vector<double> project_to_simplex(std::span<const double> v);
 
+/// Same projection written into `out` (same size as v; out may alias v).
+/// `scratch` holds the sorted working copy — reusing it across calls makes
+/// the projection allocation-free at steady state. Bitwise identical to
+/// the allocating overload.
+void project_to_simplex(std::span<const double> v, std::span<double> out,
+                        std::vector<double>& scratch);
+
 }  // namespace hbosim

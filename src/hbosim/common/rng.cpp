@@ -107,6 +107,12 @@ double Rng::gamma(double shape) {
 std::vector<double> Rng::dirichlet(std::size_t n, double alpha) {
   HB_REQUIRE(n > 0, "dirichlet requires n > 0");
   std::vector<double> out(n);
+  dirichlet(std::span<double>(out), alpha);
+  return out;
+}
+
+void Rng::dirichlet(std::span<double> out, double alpha) {
+  HB_REQUIRE(!out.empty(), "dirichlet requires n > 0");
   double sum = 0.0;
   for (auto& v : out) {
     v = gamma(alpha);
@@ -114,11 +120,10 @@ std::vector<double> Rng::dirichlet(std::size_t n, double alpha) {
   }
   if (sum <= 0.0) {
     // Numerically degenerate draw; fall back to the simplex center.
-    for (auto& v : out) v = 1.0 / static_cast<double>(n);
-    return out;
+    for (auto& v : out) v = 1.0 / static_cast<double>(out.size());
+    return;
   }
   for (auto& v : out) v /= sum;
-  return out;
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 /// \file rng.hpp
@@ -53,6 +54,11 @@ class Rng {
   /// A point uniformly distributed on the (n-1)-simplex (entries >= 0,
   /// summing to 1), drawn as Dirichlet(alpha, ..., alpha).
   std::vector<double> dirichlet(std::size_t n, double alpha = 1.0);
+
+  /// Same draw, written into `out` (out.size() components) without
+  /// allocating. Consumes exactly the same generator sequence and produces
+  /// bitwise the same values as dirichlet(out.size(), alpha).
+  void dirichlet(std::span<double> out, double alpha = 1.0);
 
   /// Fisher-Yates shuffle of indices [0, n).
   std::vector<std::size_t> permutation(std::size_t n);

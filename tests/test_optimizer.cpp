@@ -161,6 +161,100 @@ TEST(Optimizer, PinnedBoxSearchesOnlyTheSimplex) {
   }
 }
 
+TEST(Optimizer, IncrementalMatchesFullRefitSuggestionSequence) {
+  // The headline equivalence property of the incremental surrogate path:
+  // on the same seed, the suggestion sequence must match the original
+  // full-refit path to tight tolerance (they share every RNG call and the
+  // same surrogate math; only the batched exp may differ by ulps).
+  auto run = [](bool incremental) {
+    BoConfig cfg;
+    cfg.incremental_gp = incremental;
+    BayesianOptimizer opt(SimplexBoxSpace(3, 0.2, 1.0), cfg);
+    Rng rng(4242);
+    std::vector<std::vector<double>> suggestions;
+    for (int i = 0; i < 30; ++i) {
+      auto z = opt.suggest(rng);
+      opt.tell(z, synthetic_cost(z));
+      suggestions.push_back(std::move(z));
+    }
+    return suggestions;
+  };
+  const auto fast = run(true);
+  const auto slow = run(false);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i].size(), slow[i].size()) << "iteration " << i;
+    for (std::size_t j = 0; j < fast[i].size(); ++j)
+      EXPECT_NEAR(fast[i][j], slow[i][j], 1e-8)
+          << "iteration " << i << " coord " << j;
+  }
+}
+
+TEST(Optimizer, IncrementalMatchesAcrossKernelsAndAcquisitions) {
+  for (auto kernel :
+       {KernelKind::Matern52, KernelKind::Matern32, KernelKind::Rbf}) {
+    for (auto acq : {AcquisitionKind::ExpectedImprovement,
+                     AcquisitionKind::LowerConfidenceBound}) {
+      auto run = [&](bool incremental) {
+        BoConfig cfg;
+        cfg.kernel = kernel;
+        cfg.acquisition = acq;
+        cfg.incremental_gp = incremental;
+        BayesianOptimizer opt(SimplexBoxSpace(3, 0.2, 1.0), cfg);
+        Rng rng(99);
+        std::vector<double> last;
+        for (int i = 0; i < 12; ++i) {
+          last = opt.suggest(rng);
+          opt.tell(last, synthetic_cost(last));
+        }
+        return last;
+      };
+      const auto fast = run(true);
+      const auto slow = run(false);
+      ASSERT_EQ(fast.size(), slow.size());
+      for (std::size_t j = 0; j < fast.size(); ++j)
+        EXPECT_NEAR(fast[j], slow[j], 1e-8)
+            << kernel_kind_name(kernel) << " coord " << j;
+    }
+  }
+}
+
+TEST(Optimizer, BestMatchesFullRescan) {
+  // best() is O(1) via the incumbent index; it must always agree with a
+  // front-to-back scan, including the first-minimum tie rule.
+  BayesianOptimizer opt(SimplexBoxSpace(3, 0.2, 1.0));
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const auto z = opt.space().sample(rng);
+    // Coarse costs so duplicates (ties) actually occur.
+    const double cost = std::floor(synthetic_cost(z) * 4.0);
+    opt.tell(z, cost);
+    const auto& data = opt.observations();
+    std::size_t scan = 0;
+    for (std::size_t k = 1; k < data.size(); ++k)
+      if (data[k].cost < data[scan].cost) scan = k;
+    EXPECT_EQ(opt.best().z, data[scan].z) << "after " << i + 1 << " tells";
+    EXPECT_DOUBLE_EQ(opt.best().cost, data[scan].cost);
+  }
+}
+
+TEST(Optimizer, SetKernelInvalidatesLiveSurrogates) {
+  // Swapping the kernel mid-run must rebuild the incremental surrogates
+  // (from the still-valid distance cache) instead of reusing stale ones.
+  BayesianOptimizer opt(SimplexBoxSpace(3, 0.2, 1.0));
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const auto z = opt.suggest(rng);
+    opt.tell(z, synthetic_cost(z));
+  }
+  opt.set_kernel(std::make_unique<Rbf>(0.5));
+  for (int i = 0; i < 5; ++i) {
+    const auto z = opt.suggest(rng);
+    EXPECT_TRUE(opt.space().contains(z, 1e-9));
+    opt.tell(z, synthetic_cost(z));
+  }
+}
+
 TEST(Optimizer, InvalidConfigThrows) {
   BoConfig cfg;
   cfg.n_initial = 0;

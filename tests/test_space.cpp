@@ -109,5 +109,44 @@ TEST(Space, DegenerateBoxPinsCoordinate) {
   for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(space.sample(rng)[3], 1.0);
 }
 
+// The *_into overloads feed the optimizer's flat candidate buffer; they
+// must consume the identical generator sequence and produce bitwise the
+// same points as the allocating originals, or the incremental suggest
+// path would diverge from the legacy one.
+TEST(Space, SampleIntoMatchesSampleBitwise) {
+  const SimplexBoxSpace space(4, 0.2, 1.0);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  std::vector<double> buf(space.dim());
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> z = space.sample(rng_a);
+    space.sample_into(buf, rng_b);
+    for (std::size_t j = 0; j < z.size(); ++j) EXPECT_EQ(z[j], buf[j]);
+  }
+  // Same sequence consumed: the generators stay in lockstep.
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(Space, PerturbIntoAndClipIntoMatchBitwise) {
+  const SimplexBoxSpace space(3, 0.2, 1.0);
+  Rng rng_a(123);
+  Rng rng_b(123);
+  std::vector<double> base = space.sample(rng_a);
+  space.sample_into(std::span<double>(base), rng_b);
+  std::vector<double> buf(space.dim());
+  std::vector<double> scratch;
+  for (int i = 0; i < 100; ++i) {
+    const double scale = (i % 2 == 0) ? 0.05 : 0.4;
+    const std::vector<double> z = space.perturb(base, scale, rng_a);
+    space.perturb_into(base, scale, rng_b, buf, scratch);
+    for (std::size_t j = 0; j < z.size(); ++j) EXPECT_EQ(z[j], buf[j]);
+  }
+  // clip_into with out aliasing the input.
+  std::vector<double> raw = {1.7, -0.3, 0.8, 2.0};
+  const std::vector<double> clipped = space.clip(raw);
+  space.clip_into(raw, raw, scratch);
+  for (std::size_t j = 0; j < raw.size(); ++j) EXPECT_EQ(clipped[j], raw[j]);
+}
+
 }  // namespace
 }  // namespace hbosim::bo
