@@ -7,14 +7,49 @@
 // (device, scenario, environment) bucket pays the full ~20-period Bayesian
 // activation; every later session warm-starts from the pooled solution in
 // a couple of control periods.
+//
+// Observability flags:
+//   --trace <file.json>    capture a Chrome/Perfetto trace of the run
+//                          (open at https://ui.perfetto.dev)
+//   --metrics <file.json>  dump the telemetry metrics snapshot as JSON
+// Either flag activates a TelemetrySession and prints the wall-clock
+// profile report at exit.
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "hbosim/fleet/fleet_simulator.hpp"
+#include "hbosim/telemetry/report.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbosim;
+
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<telemetry::TelemetrySession> telem;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    // Deep rings (~16 MiB/thread): a 24-session fleet emits a few hundred
+    // thousand events and the demo would rather keep them all than wrap.
+    tcfg.events_per_thread = 1 << 18;
+    telem = std::make_unique<telemetry::TelemetrySession>(tcfg);
+  }
 
   fleet::FleetSpec spec;
   spec.sessions = 24;
@@ -64,5 +99,32 @@ int main() {
             << "  pool: " << m.pool.size << " entries, hit rate "
             << m.pool.hit_rate() << ", " << m.pool.stores << " stores, "
             << m.pool.evictions << " evictions\n";
+
+  if (telem) {
+    // The fleet's worker pool has been joined, so every instrumented
+    // thread is quiescent and the export is a consistent snapshot.
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      if (!os) {
+        std::cerr << "cannot open " << trace_path << " for writing\n";
+        return 1;
+      }
+      telem->write_chrome_trace(os);
+      std::cout << "\nTrace: " << telem->events_recorded() << " events ("
+                << telem->events_dropped() << " dropped) -> " << trace_path
+                << "  (open at https://ui.perfetto.dev)\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (!os) {
+        std::cerr << "cannot open " << metrics_path << " for writing\n";
+        return 1;
+      }
+      telem->metrics().snapshot().write_json(os);
+      std::cout << "Metrics snapshot -> " << metrics_path << "\n";
+    }
+    std::cout << "\n";
+    telem->report().print(std::cout);
+  }
   return 0;
 }

@@ -4,8 +4,16 @@
 
 #include "hbosim/ai/registry.hpp"
 #include "hbosim/common/error.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::ai {
+
+namespace {
+const char* inference_span_name(const AiTask& task) {
+  return telemetry::intern(task.model + "@" +
+                           soc::delegate_name(task.delegate));
+}
+}  // namespace
 
 InferenceEngine::InferenceEngine(des::Simulator& sim, soc::SocRuntime& soc,
                                  EngineConfig cfg)
@@ -32,6 +40,7 @@ TaskId InferenceEngine::add_task(const std::string& model,
   const TaskId id = next_task_id_++;
   TaskState st;
   st.task = AiTask{id, model, label, delegate};
+  st.span_name = inference_span_name(st.task);
   tasks_.emplace(id, std::move(st));
   if (started_) {
     // Join the running system after one gap, as a freshly loaded model.
@@ -55,6 +64,7 @@ void InferenceEngine::set_delegate(TaskId id, soc::Delegate delegate) {
   HB_REQUIRE(soc_.profile().supports(st.task.model, delegate),
              st.task.model + " cannot run on " + soc::delegate_name(delegate));
   st.task.delegate = delegate;  // picked up when the next plan is built
+  st.span_name = inference_span_name(st.task);
 }
 
 const AiTask& InferenceEngine::task(TaskId id) const { return state(id).task; }
@@ -129,6 +139,13 @@ void InferenceEngine::finish_inference(TaskId id) {
   const double latency = sim_.now() - st.inference_start;
   st.last_latency = latency;
   st.window.add(latency);
+  if (telemetry::enabled()) {
+    // Sim-time span on the session's async track: the inference as the
+    // simulated pipeline saw it, resource contention included.
+    telemetry::sim_span("ai", st.span_name, st.inference_start, sim_.now());
+    HB_TELEM_HIST_US("ai.inference_us", latency * 1e6);
+    HB_TELEM_COUNT("ai.inferences", 1.0);
+  }
   if (observer_) observer_(st.task, latency);
   // `st` may have been invalidated if the observer removed the task.
   auto it = tasks_.find(id);

@@ -84,6 +84,10 @@ class InferenceEngine {
  private:
   struct TaskState {
     AiTask task;
+    /// Interned "model@delegate" label for telemetry sim-spans; refreshed
+    /// on add_task/set_delegate so the hot completion path never builds
+    /// strings.
+    const char* span_name = "infer";
     ExecPlan plan;             // plan of the in-flight inference
     std::size_t phase_index = 0;
     SimTime inference_start = 0.0;

@@ -6,6 +6,7 @@
 
 #include "hbosim/common/error.hpp"
 #include "hbosim/common/mathx.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::bo {
 
@@ -47,6 +48,8 @@ void BayesianOptimizer::set_kernel(std::unique_ptr<Kernel> kernel) {
 }
 
 std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
+  HB_TRACE_SCOPE("bo", "bo.suggest");
+  HB_TELEM_COUNT("bo.suggests", 1.0);
   if (in_initialization()) return space_.sample(rng);
 
   // Standardize the observed costs so the surrogate's fixed prior variance
@@ -81,15 +84,18 @@ std::vector<double> BayesianOptimizer::suggest_full_refit(
   std::vector<double> grid = cfg_.length_scale_grid;
   if (grid.empty() || kernel_override_) grid = {1.0};
   std::unique_ptr<GaussianProcess> best_gp;
-  double best_lml = -std::numeric_limits<double>::infinity();
-  for (double factor : grid) {
-    auto gp_candidate = std::make_unique<GaussianProcess>(
-        make_kernel(cfg_.length_scale * factor), cfg_.gp);
-    gp_candidate->fit(x, y);
-    const double lml = gp_candidate->log_marginal_likelihood();
-    if (lml > best_lml) {
-      best_lml = lml;
-      best_gp = std::move(gp_candidate);
+  {
+    HB_TRACE_SCOPE("bo", "bo.fit");
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (double factor : grid) {
+      auto gp_candidate = std::make_unique<GaussianProcess>(
+          make_kernel(cfg_.length_scale * factor), cfg_.gp);
+      gp_candidate->fit(x, y);
+      const double lml = gp_candidate->log_marginal_likelihood();
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_gp = std::move(gp_candidate);
+      }
     }
   }
   GaussianProcess& gp = *best_gp;
@@ -110,12 +116,17 @@ std::vector<double> BayesianOptimizer::suggest_full_refit(
     }
   };
 
-  for (int i = 0; i < cfg_.n_random_candidates; ++i)
-    consider(space_.sample(rng));
-  for (int i = 0; i < cfg_.n_local_candidates; ++i) {
-    const double scale =
-        (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
-    consider(space_.perturb(incumbent, scale, rng));
+  {
+    // Candidate generation and acquisition scoring are interleaved in this
+    // path (one predict per consider), so one span covers both.
+    HB_TRACE_SCOPE("bo", "bo.score");
+    for (int i = 0; i < cfg_.n_random_candidates; ++i)
+      consider(space_.sample(rng));
+    for (int i = 0; i < cfg_.n_local_candidates; ++i) {
+      const double scale =
+          (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
+      consider(space_.perturb(incumbent, scale, rng));
+    }
   }
 
   HB_ASSERT(!best_candidate.empty(), "no acquisition candidate evaluated");
@@ -155,18 +166,21 @@ void BayesianOptimizer::sync_grid_gps(const std::vector<double>& y) {
 
 std::vector<double> BayesianOptimizer::suggest_incremental(
     Rng& rng, const std::vector<double>& y) {
-  sync_grid_gps(y);
-
-  // Same length-scale selection rule as the full-refit path (first
-  // strictly greater wins, grid order): the factors are identical, so the
-  // marginal likelihoods — and the winner — are too.
   GaussianProcess* gp = nullptr;
-  double best_lml = -std::numeric_limits<double>::infinity();
-  for (auto& g : grid_gps_) {
-    const double lml = g.gp.log_marginal_likelihood();
-    if (lml > best_lml) {
-      best_lml = lml;
-      gp = &g.gp;
+  {
+    HB_TRACE_SCOPE("bo", "bo.fit");
+    sync_grid_gps(y);
+
+    // Same length-scale selection rule as the full-refit path (first
+    // strictly greater wins, grid order): the factors are identical, so
+    // the marginal likelihoods — and the winner — are too.
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (auto& g : grid_gps_) {
+      const double lml = g.gp.log_marginal_likelihood();
+      if (lml > best_lml) {
+        best_lml = lml;
+        gp = &g.gp;
+      }
     }
   }
   HB_ASSERT(gp != nullptr, "no grid surrogate available");
@@ -180,30 +194,37 @@ std::vector<double> BayesianOptimizer::suggest_incremental(
   const std::size_t total = static_cast<std::size_t>(cfg_.n_random_candidates) +
                             static_cast<std::size_t>(cfg_.n_local_candidates);
   cand_flat_.resize(total * dim);
-  std::size_t w = 0;
-  for (int i = 0; i < cfg_.n_random_candidates; ++i)
-    space_.sample_into({cand_flat_.data() + (w++) * dim, dim}, rng);
-  for (int i = 0; i < cfg_.n_local_candidates; ++i) {
-    const double scale =
-        (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
-    space_.perturb_into(incumbent, scale, rng,
-                        {cand_flat_.data() + (w++) * dim, dim}, clip_scratch_);
+  {
+    HB_TRACE_SCOPE("bo", "bo.candidates");
+    std::size_t w = 0;
+    for (int i = 0; i < cfg_.n_random_candidates; ++i)
+      space_.sample_into({cand_flat_.data() + (w++) * dim, dim}, rng);
+    for (int i = 0; i < cfg_.n_local_candidates; ++i) {
+      const double scale =
+          (i % 2 == 0) ? cfg_.local_scale : cfg_.local_scale_coarse;
+      space_.perturb_into(incumbent, scale, rng,
+                          {cand_flat_.data() + (w++) * dim, dim},
+                          clip_scratch_);
+    }
   }
 
-  preds_.resize(total);
-  gp->predict_many(cand_flat_, total, preds_, batch_scratch_);
-
-  // First-strictly-greater argmax in generation order, matching the
-  // full-refit path's incremental `consider` rule.
   std::size_t best_idx = 0;
-  double best_score = -std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < total; ++c) {
-    const double score = acquisition_score(
-        cfg_.acquisition, preds_[c].mean, std::sqrt(preds_[c].variance),
-        best_y, cfg_.acq_params);
-    if (score > best_score) {
-      best_score = score;
-      best_idx = c;
+  {
+    HB_TRACE_SCOPE("bo", "bo.score");
+    preds_.resize(total);
+    gp->predict_many(cand_flat_, total, preds_, batch_scratch_);
+
+    // First-strictly-greater argmax in generation order, matching the
+    // full-refit path's incremental `consider` rule.
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < total; ++c) {
+      const double score = acquisition_score(
+          cfg_.acquisition, preds_[c].mean, std::sqrt(preds_[c].variance),
+          best_y, cfg_.acq_params);
+      if (score > best_score) {
+        best_score = score;
+        best_idx = c;
+      }
     }
   }
   const double* zb = cand_flat_.data() + best_idx * dim;
@@ -211,6 +232,8 @@ std::vector<double> BayesianOptimizer::suggest_incremental(
 }
 
 void BayesianOptimizer::tell(std::vector<double> z, double cost) {
+  HB_TRACE_SCOPE("bo", "bo.tell");
+  HB_TELEM_COUNT("bo.tells", 1.0);
   HB_REQUIRE(space_.contains(z, 1e-6),
              "tell(): configuration violates Constraints 8-10");
   HB_REQUIRE(std::isfinite(cost), "tell(): cost must be finite");

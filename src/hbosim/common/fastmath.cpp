@@ -11,7 +11,21 @@
 // branches in the loop body); fastmath.cpp is built with
 // -ftree-vectorize -fvect-cost-model=dynamic -fno-math-errno (see
 // src/CMakeLists.txt).
-#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__)
+//
+// Under ThreadSanitizer the clones are disabled: the ifunc resolvers run
+// during relocation, before the TSan runtime has initialized its
+// thread-state TLS, and any instrumented code reached from a resolver
+// segfaults at startup (reproducible with a 5-line target_clones program).
+#if defined(__SANITIZE_THREAD__)
+#define HB_FASTMATH_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HB_FASTMATH_NO_CLONES 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(HB_FASTMATH_NO_CLONES)
 #define HB_FASTMATH_CLONES \
   __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
 #else

@@ -2,18 +2,43 @@
 
 #include <atomic>
 #include <iostream>
+#include <map>
 #include <mutex>
+#include <utility>
 
 namespace hbosim {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
+// Fast-path flag so log_enabled() skips the override map (and its lock)
+// entirely in the common no-overrides configuration.
+std::atomic<bool> g_has_overrides{false};
+
+std::mutex& override_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<std::string, LogLevel>& overrides() {
+  static std::map<std::string, LogLevel> map;
+  return map;
+}
+
 // One line is emitted per lock hold so concurrent fleet workers never
 // interleave characters of different records in the sink.
 std::mutex& sink_mutex() {
   static std::mutex mu;
   return mu;
+}
+
+std::atomic<bool> g_has_hook{false};
+std::mutex& hook_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+LogEventHook& hook() {
+  static LogEventHook fn;
+  return fn;
 }
 
 const char* level_name(LogLevel level) {
@@ -32,12 +57,50 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_component_level(const std::string& component, LogLevel level) {
+  std::lock_guard<std::mutex> lock(override_mutex());
+  overrides()[component] = level;
+  g_has_overrides.store(true, std::memory_order_release);
+}
+
+void clear_component_levels() {
+  std::lock_guard<std::mutex> lock(override_mutex());
+  overrides().clear();
+  g_has_overrides.store(false, std::memory_order_release);
+}
+
+bool log_enabled(LogLevel level, const char* component) {
+  if (level >= LogLevel::Off) return false;
+  if (g_has_overrides.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(override_mutex());
+    auto it = overrides().find(component);
+    if (it != overrides().end()) return level >= it->second;
+  }
+  return level >= g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_event_hook(LogEventHook new_hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex());
+  hook() = std::move(new_hook);
+  g_has_hook.store(static_cast<bool>(hook()), std::memory_order_release);
+}
+
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
-  if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  std::cerr << '[' << level_name(level) << "] " << component << ": "
-            << message << '\n';
+  if (!log_enabled(level, component.c_str())) return;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    std::cerr << '[' << level_name(level) << "] " << component << ": "
+              << message << '\n';
+  }
+  if (g_has_hook.load(std::memory_order_acquire)) {
+    LogEventHook observer;
+    {
+      std::lock_guard<std::mutex> lock(hook_mutex());
+      observer = hook();
+    }
+    if (observer) observer(level, component, message);
+  }
 }
 
 namespace detail {

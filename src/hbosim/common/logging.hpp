@@ -1,11 +1,17 @@
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 /// \file logging.hpp
 /// Tiny leveled logger. Default level is Warn so tests and benches stay
 /// quiet; examples raise it to Info to narrate what the framework does.
+///
+/// Components may override the global level individually
+/// (`set_component_level("bo", LogLevel::Debug)`), and a process-wide hook
+/// can observe every emitted line — telemetry uses it to route lines at
+/// Warn and above into the trace event stream while a session is active.
 
 namespace hbosim {
 
@@ -14,6 +20,24 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Per-component override of the global level; pass the exact component
+/// string used at the log site (e.g. "fleet"). Thread-safe.
+void set_component_level(const std::string& component, LogLevel level);
+/// Drop every per-component override.
+void clear_component_levels();
+
+/// Would a line at `level` from `component` be emitted right now? The
+/// HB_LOG macros consult this before paying for message formatting.
+bool log_enabled(LogLevel level, const char* component);
+
+/// Observer invoked (outside the sink lock) for every line that passes
+/// the level check, after it is written to stderr. One hook at a time;
+/// pass nullptr to uninstall. Used by telemetry::TelemetrySession.
+using LogEventHook =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+void set_log_event_hook(LogEventHook hook);
 
 /// Emit one line to stderr as `[level] component: message`.
 void log_message(LogLevel level, const std::string& component,
@@ -38,8 +62,15 @@ struct LogLine {
 
 }  // namespace hbosim
 
-#define HB_LOG(level, component) \
+/// Statement-only logging macro. The for-loop wrapper skips message
+/// formatting entirely when the line would be dropped, without the
+/// dangling-else hazard of an `if`-based early-out.
+#define HB_LOG(level, component)                                          \
+  for (bool hb_log_on = ::hbosim::log_enabled(level, component);          \
+       hb_log_on; hb_log_on = false)                                     \
   ::hbosim::detail::LogLine(level, component)
-#define HB_LOG_INFO(component) HB_LOG(::hbosim::LogLevel::Info, component)
+#define HB_LOG_TRACE(component) HB_LOG(::hbosim::LogLevel::Trace, component)
 #define HB_LOG_DEBUG(component) HB_LOG(::hbosim::LogLevel::Debug, component)
+#define HB_LOG_INFO(component) HB_LOG(::hbosim::LogLevel::Info, component)
 #define HB_LOG_WARN(component) HB_LOG(::hbosim::LogLevel::Warn, component)
+#define HB_LOG_ERROR(component) HB_LOG(::hbosim::LogLevel::Error, component)

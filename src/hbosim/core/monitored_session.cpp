@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hbosim/core/cost.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::core {
 
@@ -48,6 +49,8 @@ double MonitoredSession::settle_and_reference() {
 }
 
 void MonitoredSession::activate() {
+  HB_TRACE_SCOPE("hbo", "hbo.activate");
+  HB_TELEM_COUNT("hbo.activations", 1.0);
   SessionActivation record;
   record.at = app_.sim().now();
 
@@ -73,10 +76,17 @@ void MonitoredSession::activate() {
         record.warm_start = true;
         record.from_shared_store = shared;
         record.reference_reward = settle_and_reference();
+        if (telemetry::enabled()) {
+          HB_TELEM_COUNT("hbo.warm_start_hits", 1.0);
+          if (shared) HB_TELEM_COUNT("hbo.warm_start_shared", 1.0);
+          telemetry::sim_span("hbo", "hbo.warm_start", record.at,
+                              app_.sim().now());
+        }
         activations_.push_back(std::move(record));
         return;
       }
       rejected_warm_start = true;
+      HB_TELEM_COUNT("hbo.warm_start_rejected", 1.0);
     }
   }
 
@@ -101,14 +111,23 @@ void MonitoredSession::activate() {
     if (store_.publish) store_.publish(key, solution);
   }
   record.reference_reward = settle_and_reference();
+  if (telemetry::enabled())
+    telemetry::sim_span("hbo", "hbo.activation", record.at, app_.sim().now());
   activations_.push_back(std::move(record));
 }
 
 bool MonitoredSession::tick() {
+  const SimTime period_start = app_.sim().now();
   const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
   const double reward = m.reward(cfg_.hbo.w);
   observe(m);
   smoothed_.add(reward);
+  if (telemetry::enabled()) {
+    // Control-period boundary on the session's sim-time track; the span
+    // covers exactly one monitor period.
+    telemetry::sim_span("hbo", "hbo.period", period_start, app_.sim().now());
+    HB_TELEM_COUNT("hbo.periods", 1.0);
+  }
 
   if (app_.scene().empty()) return false;  // arm at first placement
   if (!policy_.should_activate(smoothed_.value())) return false;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hbosim/common/error.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::des {
 
@@ -19,10 +20,21 @@ PsResource::PsResource(Simulator& sim, std::string name, double capacity,
                        double max_rate_per_job)
     : sim_(sim),
       name_(std::move(name)),
+      traced_jobs_name_(telemetry::intern(name_ + ".active_jobs")),
+      traced_cores_name_(telemetry::intern(name_ + ".requested_cores")),
       capacity_(capacity),
       max_rate_per_job_(max_rate_per_job) {
   HB_REQUIRE(capacity_ > 0.0, "PsResource capacity must be positive");
   HB_REQUIRE(max_rate_per_job_ > 0.0, "max_rate_per_job must be positive");
+}
+
+void PsResource::trace_depth() const {
+  // Sample 1 in 16 depth changes: per-change emission floods the ring on
+  // inference-heavy runs without adding information to the depth series.
+  if ((++trace_decimator_ & 0xFu) != 0) return;
+  telemetry::counter("ps", traced_jobs_name_,
+                     static_cast<double>(jobs_.size()));
+  telemetry::counter("ps", traced_cores_name_, requested_cores_);
 }
 
 double PsResource::shared_rate(double total_cores) const {
@@ -84,6 +96,7 @@ void PsResource::on_completion_event() {
   }
   if (jobs_.empty()) requested_cores_ = 0.0;  // absorb fp residue
   reschedule();
+  if (telemetry::enabled() && !finished.empty()) trace_depth();
   for (auto& done : finished) {
     if (done) done();
   }
@@ -97,6 +110,10 @@ JobId PsResource::submit(double demand, double cores, Completion done) {
   jobs_.emplace(id, Job{std::max(demand, kEpsilon), cores, std::move(done)});
   requested_cores_ += cores;
   reschedule();
+  if (telemetry::enabled()) {
+    HB_TELEM_COUNT("ps.jobs_submitted", 1.0);
+    trace_depth();
+  }
   return id;
 }
 

@@ -87,8 +87,15 @@ class PsResource {
   void on_completion_event();
   double shared_rate(double total_cores) const;
 
+  /// Sample active-job count and requested cores onto the telemetry trace
+  /// (no-op without an active session).
+  void trace_depth() const;
+
   Simulator& sim_;
   std::string name_;
+  const char* traced_jobs_name_;   ///< Interned "<name>.active_jobs".
+  const char* traced_cores_name_;  ///< Interned "<name>.requested_cores".
+  mutable std::uint32_t trace_decimator_ = 0;
   double capacity_;
   double max_rate_per_job_;
   double background_ = 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hbosim/common/error.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::edge {
 
@@ -33,8 +34,10 @@ DecimationResult DecimationService::request(const render::MeshAsset& asset,
     out.triangles = *cached;
     out.cache_hit = true;
     out.delay_s = 0.0;
+    HB_TELEM_COUNT("edge.cache_hits", 1.0);
     return out;
   }
+  HB_TELEM_COUNT("edge.cache_misses", 1.0);
 
   // Cache miss: the server decimates from the full-resolution mesh and the
   // device downloads the decimated version.

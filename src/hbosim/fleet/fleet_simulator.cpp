@@ -8,6 +8,7 @@
 #include "hbosim/common/rng.hpp"
 #include "hbosim/common/thread_pool.hpp"
 #include "hbosim/soc/devices_builtin.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::fleet {
 
@@ -94,6 +95,19 @@ SessionSpec FleetSimulator::session_spec(std::size_t id) const {
 SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Telemetry: name this worker's wall-clock track, route the session's
+  // sim-time spans (ai/hbo) onto async track `spec.id`, and wrap the whole
+  // session in one labelled wall-clock span.
+  const char* span_label = "fleet.session";
+  if (telemetry::enabled()) {
+    telemetry::set_thread_name("fleet-worker", /*append_index=*/true);
+    telemetry::set_current_track(spec.id);
+    span_label = telemetry::intern("session " + std::to_string(spec.id) +
+                                   " " + spec.device + " " +
+                                   spec.scenario_name());
+  }
+  telemetry::ScopeTimer session_span("fleet", span_label);
+
   const soc::DeviceProfile device = soc::find_builtin(spec.device);
   std::unique_ptr<app::MarApp> app =
       scenario::make_app(device, spec.objects, spec.tasks, spec.seed);
@@ -141,10 +155,15 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
     if (a.from_shared_store) ++out.shared_warm_starts;
   }
   out.wall_seconds = seconds_since(t0);
+  if (telemetry::enabled()) {
+    HB_TELEM_COUNT("fleet.sessions_completed", 1.0);
+    HB_TELEM_HIST_US("fleet.session_wall_us", out.wall_seconds * 1e6);
+  }
   return out;
 }
 
 FleetResult FleetSimulator::run() {
+  HB_TRACE_SCOPE("fleet", "fleet.run");
   pool_.reset();
   if (spec_.use_shared_pool)
     pool_ = std::make_unique<SharedSolutionPool>(spec_.pool);

@@ -1,5 +1,7 @@
 #include "hbosim/fleet/shared_pool.hpp"
 
+#include "hbosim/telemetry/telemetry.hpp"
+
 namespace hbosim::fleet {
 
 std::string PoolKey::str() const {
@@ -14,21 +16,28 @@ SharedSolutionPool::SharedSolutionPool(SharedSolutionPoolConfig cfg)
 
 std::optional<core::StoredSolution> SharedSolutionPool::fetch(
     const PoolKey& key) {
+  // The span covers the wait on mu_ too, so pool contention between fleet
+  // workers shows up directly as widened pool.fetch scopes in the trace.
+  HB_TRACE_SCOPE("fleet", "pool.fetch");
   const std::string k = key.str();
   std::lock_guard<std::mutex> lock(mu_);
   if (const core::StoredSolution* found = cache_.get(k)) {
     ++hits_;
+    HB_TELEM_COUNT("pool.hits", 1.0);
     return *found;
   }
   ++misses_;
+  HB_TELEM_COUNT("pool.misses", 1.0);
   return std::nullopt;
 }
 
 void SharedSolutionPool::publish(const PoolKey& key,
                                  const core::StoredSolution& solution) {
+  HB_TRACE_SCOPE("fleet", "pool.publish");
   const std::string k = key.str();
   std::lock_guard<std::mutex> lock(mu_);
   ++stores_;
+  HB_TELEM_COUNT("pool.stores", 1.0);
   if (const core::StoredSolution* existing = cache_.get(k)) {
     if (existing->cost <= solution.cost) return;  // keep the better entry
   }

@@ -1,0 +1,106 @@
+#include "hbosim/telemetry/report.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+
+namespace hbosim::telemetry {
+
+namespace {
+
+ProfileNode& child_by_name(ProfileNode& parent, const char* name) {
+  for (ProfileNode& c : parent.children) {
+    // Pointer equality first: names are literals/interned, so identical
+    // call sites share the pointer and skip the strcmp.
+    if (c.name == name || std::strcmp(c.name, name) == 0) return c;
+  }
+  parent.children.push_back(ProfileNode{name, 0, 0, {}});
+  return parent.children.back();
+}
+
+struct OpenScope {
+  ProfileNode* node;
+  std::uint64_t end_ns;
+};
+
+void print_node(std::ostream& os, const ProfileNode& node, int depth) {
+  std::vector<const ProfileNode*> ordered;
+  ordered.reserve(node.children.size());
+  for (const ProfileNode& c : node.children) ordered.push_back(&c);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProfileNode* a, const ProfileNode* b) {
+              return a->incl_ns > b->incl_ns;
+            });
+  for (const ProfileNode* c : ordered) {
+    const std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    os << "  " << std::left << std::setw(44) << (label + c->name)
+       << std::right << std::setw(9) << c->count << std::setw(12)
+       << std::fixed << std::setprecision(2)
+       << static_cast<double>(c->incl_ns) * 1e-6 << std::setw(12)
+       << static_cast<double>(c->excl_ns()) * 1e-6 << "\n";
+    print_node(os, *c, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::uint64_t ProfileNode::excl_ns() const {
+  std::uint64_t child_ns = 0;
+  for (const ProfileNode& c : children) child_ns += c.incl_ns;
+  return child_ns >= incl_ns ? 0 : incl_ns - child_ns;
+}
+
+const ProfileNode* ProfileNode::child(std::string_view want) const {
+  for (const ProfileNode& c : children)
+    if (want == c.name) return &c;
+  return nullptr;
+}
+
+ProfileReport build_profile(const std::vector<ThreadSnapshot>& snapshots) {
+  ProfileReport out;
+  out.root.name = "total";
+  out.threads = snapshots.size();
+
+  for (const ThreadSnapshot& snap : snapshots) {
+    out.dropped += snap.dropped;
+    // Scopes are recorded at close, so the ring holds them in end-time
+    // order; sort by (start asc, duration desc) so a parent precedes the
+    // children it contains.
+    std::vector<const TraceEvent*> scopes;
+    for (const TraceEvent& ev : snap.events) {
+      ++out.events;
+      if (ev.kind == EventKind::Scope) scopes.push_back(&ev);
+    }
+    std::sort(scopes.begin(), scopes.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+                return a->dur_ns > b->dur_ns;
+              });
+
+    std::vector<OpenScope> stack;
+    for (const TraceEvent* ev : scopes) {
+      while (!stack.empty() && ev->ts_ns >= stack.back().end_ns)
+        stack.pop_back();
+      ProfileNode& parent = stack.empty() ? out.root : *stack.back().node;
+      ProfileNode& node = child_by_name(parent, ev->name);
+      ++node.count;
+      node.incl_ns += ev->dur_ns;
+      stack.push_back(OpenScope{&node, ev->ts_ns + ev->dur_ns});
+    }
+  }
+  for (const ProfileNode& c : out.root.children)
+    out.root.incl_ns += c.incl_ns;
+  return out;
+}
+
+void ProfileReport::print(std::ostream& os) const {
+  os << "telemetry profile — wall time, merged over " << threads
+     << " thread(s), " << events << " events";
+  if (dropped) os << " (" << dropped << " dropped to ring wraparound)";
+  os << "\n  " << std::left << std::setw(44) << "scope" << std::right
+     << std::setw(9) << "count" << std::setw(12) << "incl(ms)"
+     << std::setw(12) << "excl(ms)" << "\n";
+  print_node(os, root, 0);
+}
+
+}  // namespace hbosim::telemetry

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hbosim/telemetry/telemetry.hpp"
+
+/// \file report.hpp
+/// Rolls recorded wall-clock scopes up into an inclusive/exclusive-time
+/// tree. Nesting is reconstructed from interval containment (scopes are
+/// recorded as complete events at close), then merged across threads by
+/// name path, so `bench_bo` and `fleet_demo` can print one profile for an
+/// entire multi-threaded run.
+
+namespace hbosim::telemetry {
+
+struct ProfileNode {
+  const char* name = nullptr;  ///< Static/interned scope name.
+  std::uint64_t count = 0;
+  std::uint64_t incl_ns = 0;  ///< Sum of scope durations.
+  std::vector<ProfileNode> children;
+
+  /// Inclusive time minus children's inclusive time (floored at 0 —
+  /// ring wraparound can drop a parent's early children).
+  std::uint64_t excl_ns() const;
+  const ProfileNode* child(std::string_view name) const;
+};
+
+struct ProfileReport {
+  ProfileNode root;  ///< name = "total"; children are top-level scopes.
+  std::size_t threads = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+
+  /// Indented table: name, count, inclusive ms, exclusive ms. Children
+  /// are ordered by descending inclusive time.
+  void print(std::ostream& os) const;
+};
+
+/// Build the merged profile from per-thread snapshots.
+ProfileReport build_profile(const std::vector<ThreadSnapshot>& snapshots);
+
+}  // namespace hbosim::telemetry

@@ -105,6 +105,69 @@ TEST(TraceRecorder, WindowMeanFiltersByTime) {
   EXPECT_DOUBLE_EQ(trace.window_mean("v", 100.0, 200.0), 0.0);
 }
 
+TEST(TraceRecorder, WindowMeanEdgeCases) {
+  TraceRecorder trace;
+  trace.record("v", 1.0, 10.0);
+  trace.record("v", 2.0, 20.0);
+  trace.record("v", 3.0, 30.0);
+  // Window endpoints are inclusive on both sides.
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 1.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 1.0, 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 2.0, 3.0), 25.0);
+  // Empty window (even a valid range with no samples) is 0, not NaN.
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 1.5, 1.9), 0.0);
+  // Inverted window selects nothing.
+  EXPECT_DOUBLE_EQ(trace.window_mean("v", 3.0, 1.0), 0.0);
+  // Unknown series still throws.
+  EXPECT_THROW(trace.window_mean("nope", 0.0, 1.0), hbosim::Error);
+}
+
+TEST(TraceRecorder, SeriesIdInternsAndRecords) {
+  TraceRecorder trace;
+  const SeriesId lat = trace.series_id("lat");
+  EXPECT_EQ(trace.series_id("lat"), lat);  // idempotent
+  const SeriesId other = trace.series_id("other");
+  EXPECT_NE(lat, other);
+
+  trace.record(lat, 1.0, 10.0);
+  trace.record("lat", 2.0, 20.0);  // string API appends to the same series
+  trace.record(other, 1.0, 5.0);
+
+  EXPECT_EQ(trace.series("lat").size(), 2u);
+  EXPECT_EQ(trace.series(lat).size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.series(lat)[1].value, 20.0);
+  EXPECT_EQ(trace.series_names(), (std::vector<std::string>{"lat", "other"}));
+
+  // Handles are invalidated by clear(); stale use throws.
+  trace.clear();
+  EXPECT_THROW(trace.record(lat, 3.0, 1.0), hbosim::Error);
+}
+
+TEST(TraceRecorder, SeriesIdCreatesEmptySeries) {
+  TraceRecorder trace;
+  trace.series_id("pending");
+  EXPECT_TRUE(trace.has_series("pending"));
+  EXPECT_TRUE(trace.series("pending").empty());
+}
+
+TEST(TraceRecorder, DumpAllCsvLongFormat) {
+  TraceRecorder trace;
+  trace.record("a", 1.0, 10.0);
+  trace.record("b", 1.0, 5.0);
+  trace.record("a", 3.0, 30.0);
+  trace.mark(1.0, "N1");
+  trace.mark(2.0, "C5");
+  std::ostringstream os;
+  trace.dump_all_csv(os);
+  EXPECT_EQ(os.str(),
+            "time,series,value\n"
+            "1,a,10\n"
+            "1,b,5\n"
+            "1,marker,N1\n"
+            "2,marker,C5\n"
+            "3,a,30\n");
+}
+
 TEST(TraceRecorder, MarkersAccumulate) {
   TraceRecorder trace;
   trace.mark(1.0, "N1");

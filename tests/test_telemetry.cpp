@@ -1,0 +1,467 @@
+// Tests for hbosim::telemetry: ring wraparound, histogram bucket edges,
+// export well-formedness, cross-thread shard aggregation, the profile
+// tree, log routing, and call-site handle re-resolution across sessions.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/common/logging.hpp"
+#include "hbosim/common/thread_pool.hpp"
+#include "hbosim/fleet/fleet_simulator.hpp"
+#include "hbosim/telemetry/report.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace hbosim;
+using namespace hbosim::telemetry;
+
+/// Minimal structural JSON validator: enough to catch unbalanced
+/// containers, bad commas, and unterminated strings in the exporters.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Telemetry, DisabledByDefault) {
+  EXPECT_FALSE(telemetry::enabled());
+  EXPECT_EQ(TelemetrySession::active(), nullptr);
+  // All macros must be safe no-ops without a session.
+  HB_TRACE_SCOPE("test", "noop");
+  HB_TRACE_COUNTER("test", "noop", 1.0);
+  HB_TRACE_INSTANT("test", "noop");
+  HB_TELEM_COUNT("noop", 1.0);
+  HB_TELEM_HIST_US("noop_us", 1.0);
+}
+
+TEST(Telemetry, SessionTogglesEnabled) {
+  {
+    TelemetrySession session;
+    EXPECT_TRUE(telemetry::enabled());
+    EXPECT_EQ(TelemetrySession::active(), &session);
+  }
+  EXPECT_FALSE(telemetry::enabled());
+  EXPECT_EQ(TelemetrySession::active(), nullptr);
+}
+
+TEST(Telemetry, SecondSessionThrows) {
+  TelemetrySession session;
+  EXPECT_THROW(TelemetrySession{}, Error);
+}
+
+TEST(Telemetry, RingWraparoundKeepsNewestEvents) {
+  TelemetryConfig cfg;
+  cfg.events_per_thread = 8;  // already a power of two
+  TelemetrySession session(cfg);
+
+  const char* name = "wrap";
+  for (int i = 0; i < 20; ++i) telemetry::counter("test", name, i);
+
+  const std::vector<ThreadSnapshot> snaps = session.snapshot();
+  const ThreadSnapshot* main_snap = nullptr;
+  for (const ThreadSnapshot& s : snaps)
+    if (!s.events.empty()) main_snap = &s;
+  ASSERT_NE(main_snap, nullptr);
+
+  ASSERT_EQ(main_snap->events.size(), 8u);
+  EXPECT_EQ(main_snap->dropped, 12u);
+  // Oldest-first snapshot of the newest 8 values: 12, 13, ..., 19.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(main_snap->events[i].value, 12.0 + static_cast<double>(i));
+  EXPECT_EQ(session.events_recorded(), 20u);
+  EXPECT_EQ(session.events_dropped(), 12u);
+}
+
+TEST(Telemetry, CapacityRoundsUpToPowerOfTwo) {
+  TelemetryConfig cfg;
+  cfg.events_per_thread = 6;  // rounds to 8
+  TelemetrySession session(cfg);
+  for (int i = 0; i < 10; ++i) telemetry::instant("test", "i");
+  EXPECT_EQ(session.events_dropped(), 2u);
+}
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  const MetricId id = reg.counter("jobs");
+  reg.add(id, 2.0);
+  reg.add(id, 3.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("jobs");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::Counter);
+  EXPECT_DOUBLE_EQ(m->value, 5.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndKindChecked) {
+  MetricsRegistry reg;
+  const MetricId a = reg.counter("x");
+  const MetricId b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), Error);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  const MetricId id = reg.gauge("temp");
+  reg.set(id, 1.0);
+  reg.set(id, 42.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("temp");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 42.0);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  // Buckets: (-inf,1], (1,10], (10,100], (100, inf).
+  const MetricId id = reg.histogram("lat", {1.0, 10.0, 100.0});
+
+  reg.observe(id, 1.0);    // exactly on the first bound -> bucket 0
+  reg.observe(id, 1.5);    // bucket 1
+  reg.observe(id, 10.0);   // exactly on the second bound -> bucket 1
+  reg.observe(id, 99.0);   // bucket 2
+  reg.observe(id, 1000.0); // overflow bucket
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("lat");
+  ASSERT_NE(m, nullptr);
+  const HistogramSummary& h = m->hist;
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 1111.5);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  // Percentiles are clamped to the observed range and monotone.
+  EXPECT_GE(h.p50, h.min);
+  EXPECT_LE(h.p50, h.p95);
+  EXPECT_LE(h.p95, h.p99);
+  EXPECT_LE(h.p99, h.max);
+}
+
+TEST(Metrics, HistogramPercentileSingleValue) {
+  MetricsRegistry reg;
+  const MetricId id = reg.histogram("one", {1.0, 10.0});
+  for (int i = 0; i < 100; ++i) reg.observe(id, 5.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSummary& h = snap.find("one")->hist;
+  // Every observation is 5.0; clamping to [min,max] pins all percentiles.
+  EXPECT_DOUBLE_EQ(h.p50, 5.0);
+  EXPECT_DOUBLE_EQ(h.p95, 5.0);
+  EXPECT_DOUBLE_EQ(h.p99, 5.0);
+}
+
+TEST(Metrics, ShardsAggregateAcrossThreadPool) {
+  MetricsRegistry reg;
+  const MetricId counter_id = reg.counter("work");
+  const MetricId hist_id = reg.histogram("work_us", {10.0, 100.0, 1000.0});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.submit([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          reg.add(counter_id, 1.0);
+          reg.observe(hist_id, static_cast<double>(i % 500));
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("work")->value, kThreads * kPerThread);
+  EXPECT_EQ(snap.find("work_us")->hist.count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Metrics, JsonAndCsvExports) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("a.count"), 3.0);
+  reg.set(reg.gauge("b.gauge"), -1.5);
+  const MetricId h = reg.histogram("c \"quoted\"", {1.0, 10.0});
+  reg.observe(h, 2.0);
+
+  std::ostringstream json;
+  reg.snapshot().write_json(json);
+  EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+  EXPECT_NE(json.str().find("a.count"), std::string::npos);
+  EXPECT_NE(json.str().find("\\\"quoted\\\""), std::string::npos);
+
+  std::ostringstream csv;
+  reg.snapshot().write_csv(csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("name,kind"), std::string::npos);
+  EXPECT_NE(csv_text.find("a.count,counter"), std::string::npos);
+  EXPECT_NE(csv_text.find("b.gauge,gauge"), std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceIsWellFormedJson) {
+  TelemetrySession session;
+  {
+    HB_TRACE_SCOPE("test", "outer");
+    HB_TRACE_SCOPE("test", "inner");
+    HB_TRACE_COUNTER("test", "depth", 3.0);
+    HB_TRACE_INSTANT("test", "ping");
+  }
+  telemetry::set_current_track(7);
+  telemetry::sim_span("test", "simwork", 1.25, 2.5);
+  HB_LOG_WARN("telemetry-test") << "routed line";
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"simwork\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(text.find("routed line"), std::string::npos);
+  telemetry::set_current_track(0);
+}
+
+TEST(Telemetry, ThreadTracksAppearInTrace) {
+  TelemetrySession session;
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 2; ++t) {
+      futures.push_back(pool.submit([] {
+        telemetry::set_thread_name("worker", /*append_index=*/true);
+        HB_TRACE_SCOPE("test", "task");
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid());
+  EXPECT_NE(text.find("thread_name"), std::string::npos);
+  EXPECT_NE(text.find("worker-"), std::string::npos);
+}
+
+TEST(Telemetry, ProfileReportNestsScopes) {
+  TelemetrySession session;
+  for (int i = 0; i < 3; ++i) {
+    HB_TRACE_SCOPE("test", "parent");
+    {
+      HB_TRACE_SCOPE("test", "child");
+    }
+  }
+  const ProfileReport report = session.report();
+  const ProfileNode* parent = report.root.child("parent");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->count, 3u);
+  const ProfileNode* child = parent->child("child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->count, 3u);
+  EXPECT_LE(child->incl_ns, parent->incl_ns);
+  // Exclusive = inclusive - children.
+  EXPECT_EQ(parent->excl_ns(), parent->incl_ns - child->incl_ns);
+
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("parent"), std::string::npos);
+  EXPECT_NE(os.str().find("child"), std::string::npos);
+}
+
+TEST(Telemetry, LogRoutingHonoursLevel) {
+  TelemetrySession session;
+  HB_LOG_ERROR("routing") << "bad thing " << 42;
+  HB_LOG_TRACE("routing") << "too quiet";  // below Warn: not routed
+  const std::vector<LogRecord> logs = session.log_records();
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].component, "routing");
+  EXPECT_EQ(logs[0].message, "bad thing 42");
+  EXPECT_EQ(logs[0].level, static_cast<int>(LogLevel::Error));
+}
+
+TEST(Logging, ComponentLevelOverrides) {
+  set_component_level("chatty", LogLevel::Trace);
+  EXPECT_TRUE(log_enabled(LogLevel::Trace, "chatty"));
+  EXPECT_FALSE(log_enabled(LogLevel::Trace, "other"));
+  set_component_level("muted", LogLevel::Off);
+  EXPECT_FALSE(log_enabled(LogLevel::Error, "muted"));
+  clear_component_levels();
+  EXPECT_FALSE(log_enabled(LogLevel::Trace, "chatty"));
+  EXPECT_TRUE(log_enabled(LogLevel::Error, "muted"));
+}
+
+void bump_shared_counter() { HB_TELEM_COUNT("handle.epoch", 1.0); }
+
+TEST(Telemetry, HandlesReresolveAcrossSessions) {
+  {
+    TelemetrySession first;
+    bump_shared_counter();
+    bump_shared_counter();
+    EXPECT_DOUBLE_EQ(first.metrics().snapshot().find("handle.epoch")->value,
+                     2.0);
+  }
+  bump_shared_counter();  // no session: dropped
+  {
+    TelemetrySession second;
+    bump_shared_counter();
+    // The call-site static handle must re-register against the new
+    // session's registry instead of reusing the stale id.
+    EXPECT_DOUBLE_EQ(second.metrics().snapshot().find("handle.epoch")->value,
+                     1.0);
+  }
+}
+
+TEST(Telemetry, InternReturnsStablePointers) {
+  const char* a = telemetry::intern("some.dynamic.name");
+  const char* b = telemetry::intern(std::string("some.dynamic.") + "name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "some.dynamic.name");
+}
+
+TEST(Telemetry, FleetRunProducesSessionSpans) {
+  TelemetrySession session;
+
+  fleet::FleetSpec spec;
+  spec.sessions = 3;
+  spec.threads = 2;
+  spec.duration_s = 6.0;
+  spec.use_shared_pool = true;
+  spec.session.hbo.n_initial = 2;
+  spec.session.hbo.n_iterations = 2;
+  spec.session.hbo.selection_candidates = 1;
+  spec.session.hbo.control_period_s = 1.0;
+  spec.session.hbo.monitor_period_s = 1.0;
+
+  fleet::FleetSimulator simulator(spec);
+  const fleet::FleetResult result = simulator.run();
+  ASSERT_EQ(result.sessions.size(), 3u);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid());
+  EXPECT_NE(text.find("fleet-worker-"), std::string::npos);
+  EXPECT_NE(text.find("session 0"), std::string::npos);
+  EXPECT_NE(text.find("hbo.period"), std::string::npos);
+
+  const MetricsSnapshot snap = session.metrics().snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("fleet.sessions_completed")->value, 3.0);
+  ASSERT_NE(snap.find("des.events_executed"), nullptr);
+  EXPECT_GT(snap.find("des.events_executed")->value, 0.0);
+  ASSERT_NE(snap.find("ai.inference_us"), nullptr);
+  EXPECT_GT(snap.find("ai.inference_us")->hist.count, 0u);
+
+  const ProfileReport report = session.report();
+  EXPECT_NE(report.root.child("fleet.run"), nullptr);
+}
+
+}  // namespace
