@@ -94,12 +94,12 @@ void log_message(LogLevel level, const std::string& component,
               << message << '\n';
   }
   if (g_has_hook.load(std::memory_order_acquire)) {
-    LogEventHook observer;
-    {
-      std::lock_guard<std::mutex> lock(hook_mutex());
-      observer = hook();
-    }
-    if (observer) observer(level, component, message);
+    // Invoke under hook_mutex so set_log_event_hook(nullptr) blocks until
+    // any in-flight invocation returns — the installer (e.g.
+    // ~TelemetrySession) may destroy observer state right after
+    // uninstalling. Hooks must therefore not log or (un)install hooks.
+    std::lock_guard<std::mutex> lock(hook_mutex());
+    if (hook()) hook()(level, component, message);
   }
 }
 

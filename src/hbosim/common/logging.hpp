@@ -31,9 +31,13 @@ void clear_component_levels();
 /// HB_LOG macros consult this before paying for message formatting.
 bool log_enabled(LogLevel level, const char* component);
 
-/// Observer invoked (outside the sink lock) for every line that passes
-/// the level check, after it is written to stderr. One hook at a time;
-/// pass nullptr to uninstall. Used by telemetry::TelemetrySession.
+/// Observer invoked (outside the sink lock, but under an internal hook
+/// lock) for every line that passes the level check, after it is written
+/// to stderr. One hook at a time; pass nullptr to uninstall — the call
+/// blocks until any in-flight invocation returns, so after it the old
+/// hook's captured state may be safely destroyed. Because of that lock,
+/// hooks must not log or (un)install hooks themselves. Used by
+/// telemetry::TelemetrySession.
 using LogEventHook =
     std::function<void(LogLevel, const std::string& component,
                        const std::string& message)>;

@@ -6,6 +6,24 @@
 
 namespace hbosim::des {
 
+namespace {
+/// RFC-4180-style quoting: series names and marker labels are free-form,
+/// so any field containing a comma, quote, or newline is emitted quoted
+/// with inner quotes doubled.
+void write_csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
 SeriesId TraceRecorder::series_id(const std::string& series) {
   auto it = index_.find(series);
   if (it != index_.end()) return it->second;
@@ -74,7 +92,9 @@ double TraceRecorder::window_mean(const std::string& name, SimTime t0,
 
 void TraceRecorder::dump_series_csv(const std::string& name,
                                     std::ostream& os) const {
-  os << "time," << name << '\n';
+  os << "time,";
+  write_csv_field(os, name);
+  os << '\n';
   for (const auto& p : series(name)) os << p.time << ',' << p.value << '\n';
 }
 
@@ -103,11 +123,13 @@ void TraceRecorder::dump_all_csv(std::ostream& os) const {
 
   os << "time,series,value\n";
   for (const Row& r : rows) {
-    os << r.time << ',' << *r.series << ',';
+    os << r.time << ',';
+    write_csv_field(os, *r.series);
+    os << ',';
     if (r.point != nullptr)
       os << r.point->value;
     else
-      os << *r.label;
+      write_csv_field(os, *r.label);
     os << '\n';
   }
 }

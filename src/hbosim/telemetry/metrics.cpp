@@ -117,15 +117,29 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
 }
 
 void MetricsSnapshot::write_csv(std::ostream& os) const {
+  // Metric names are free-form; quote any field that would break the row.
+  auto field = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (char c : s) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
   os << "name,kind,count,value,min,max,p50,p95,p99\n";
   for (const MetricValue& m : metrics) {
-    os << m.name << ',' << metric_kind_name(m.kind) << ',';
+    field(m.name);
+    os << ',' << metric_kind_name(m.kind) << ',';
     if (m.kind == MetricKind::Histogram) {
       const HistogramSummary& h = m.hist;
       os << h.count << ',' << h.sum << ',' << h.min << ',' << h.max << ','
          << h.p50 << ',' << h.p95 << ',' << h.p99;
     } else {
-      os << "1," << m.value << ",,,,,";
+      os << m.count << ',' << m.value << ",,,,,";
     }
     os << '\n';
   }
@@ -213,9 +227,9 @@ void MetricsRegistry::set(MetricId id, double value) {
 }
 
 void MetricsRegistry::observe(MetricId id, double value) {
-  // The bounds vector is immutable after registration, so reading it
-  // without the registry lock is safe; descriptors_ only grows and ids
-  // handed to callers are stable.
+  // The bounds vector is immutable after registration and descriptors_ is
+  // a deque (element addresses survive concurrent register_metric()), so
+  // reading the bounds without the registry lock is safe.
   const std::vector<double>* bounds;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -253,10 +267,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     m.kind = d.kind;
     if (d.kind == MetricKind::Gauge) {
       m.value = d.gauge_value;
+      m.count = d.gauge_writes;
     } else if (d.kind == MetricKind::Counter) {
       for (const auto& shard : shards_) {
         std::lock_guard<std::mutex> slock(shard->mu);
-        if (id < shard->cells.size()) m.value += shard->cells[id].sum;
+        if (id < shard->cells.size()) {
+          m.value += shard->cells[id].sum;
+          m.count += shard->cells[id].count;
+        }
       }
     } else {
       HistogramSummary& h = m.hist;

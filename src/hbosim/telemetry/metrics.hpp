@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -60,6 +61,7 @@ struct MetricValue {
   std::string name;
   MetricKind kind = MetricKind::Counter;
   double value = 0.0;        ///< Counter total or gauge value.
+  std::uint64_t count = 0;   ///< add() calls (counter) / set() calls (gauge).
   HistogramSummary hist;     ///< Populated for histograms.
 };
 
@@ -132,7 +134,10 @@ class MetricsRegistry {
 
   const std::uint64_t registry_id_;  ///< Process-unique, for TLS caching.
   mutable std::mutex mu_;
-  std::vector<Descriptor> descriptors_;
+  /// Deque, not vector: observe() reads a descriptor's bounds after
+  /// releasing mu_, so element addresses must survive concurrent
+  /// registration (deque push_back never moves existing elements).
+  std::deque<Descriptor> descriptors_;
   std::unordered_map<std::string, MetricId> by_name_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -44,6 +44,21 @@ std::unordered_set<std::string>& intern_table() {
   return table;
 }
 
+/// Process-lifetime ring storage. A ScopeTimer (or a thread's cached TLS
+/// ring pointer) can outlive the session that created its ring, so rings
+/// are intentionally never freed: a late write lands in a stale ring that
+/// no exporter reads instead of freed memory. Heap-allocated so it also
+/// survives static destruction order. Growth is bounded by
+/// sessions-started x threads-registered.
+std::mutex& ring_pool_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<std::unique_ptr<ThreadRing>>& ring_pool() {
+  static auto* pool = new std::vector<std::unique_ptr<ThreadRing>>();
+  return *pool;
+}
+
 }  // namespace
 
 ThreadRing::ThreadRing(std::size_t capacity_pow2, std::string name, int tid)
@@ -102,22 +117,32 @@ TelemetrySession::TelemetrySession(TelemetryConfig cfg) : cfg_(cfg) {
 }
 
 TelemetrySession::~TelemetrySession() {
+  // Blocks until any in-flight log-hook invocation returns, so no thread
+  // can call record_log() on this object afterwards.
   set_log_event_hook(nullptr);
   detail::g_enabled.store(false, std::memory_order_release);
   g_session.store(nullptr, std::memory_order_release);
   // Stale TLS ring pointers are invalidated lazily: the next session has a
-  // new epoch, so every thread re-registers before writing again.
+  // new epoch, so every thread re-registers before writing again. The
+  // rings themselves stay alive in the process-lifetime pool, so a scope
+  // still open on another thread closes into stale-but-live memory.
 }
 
 ThreadRing* TelemetrySession::ring_for_this_thread() {
   if (t_ring_epoch == epoch_ && t_ring != nullptr) return t_ring;
   std::lock_guard<std::mutex> lock(mu_);
   const int tid = static_cast<int>(rings_.size());
-  rings_.push_back(std::make_unique<ThreadRing>(
-      cfg_.events_per_thread, "thread-" + std::to_string(tid), tid));
-  t_ring = rings_.back().get();
+  auto ring = std::make_unique<ThreadRing>(
+      cfg_.events_per_thread, "thread-" + std::to_string(tid), tid);
+  ThreadRing* ptr = ring.get();
+  {
+    std::lock_guard<std::mutex> pool_lock(ring_pool_mutex());
+    ring_pool().push_back(std::move(ring));
+  }
+  rings_.push_back(ptr);
+  t_ring = ptr;
   t_ring_epoch = epoch_;
-  return t_ring;
+  return ptr;
 }
 
 void TelemetrySession::record_log(int level, const std::string& component,
@@ -298,11 +323,21 @@ void TelemetrySession::write_chrome_trace(std::ostream& os) const {
 
 // --- free-function record primitives --------------------------------------
 
-namespace {
+namespace detail {
 ThreadRing* active_ring() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  // Fast path: the TLS ring already belongs to the current epoch — no
+  // session dereference, so it cannot race with ~TelemetrySession.
+  if (t_ring != nullptr &&
+      t_ring_epoch == g_epoch.load(std::memory_order_acquire))
+    return t_ring;
   TelemetrySession* s = TelemetrySession::active();
   return s ? s->ring_for_this_thread() : nullptr;
 }
+}  // namespace detail
+
+namespace {
+using detail::active_ring;
 }  // namespace
 
 void counter(const char* cat, const char* name, double value) {

@@ -36,8 +36,18 @@
 /// Exports must only run while instrumented threads are quiescent (e.g.
 /// after the fleet's worker pool has joined); the writer fast path is
 /// unsynchronized by design.
+///
+/// Lifetime: rings live in a process-lifetime pool (never freed), so a
+/// ScopeTimer or cached TLS ring pointer that outlives its session writes
+/// into stale-but-live memory instead of freed memory, and such writes are
+/// dropped by an epoch check anyway. Threads must still not *enter* new
+/// instrumentation points (first-time thread registration) concurrently
+/// with ~TelemetrySession — destroy the session only after instrumented
+/// worker threads have joined.
 
 namespace hbosim::telemetry {
+
+class ThreadRing;
 
 namespace detail {
 /// Global tracing switch, read relaxed on every instrumentation point.
@@ -50,6 +60,10 @@ extern std::atomic<std::uint64_t> g_epoch;
 
 /// Nanoseconds since the active session started.
 std::int64_t now_ns();
+
+/// The calling thread's ring for the active session, or nullptr. The fast
+/// path is a pure TLS + epoch check that never dereferences the session.
+ThreadRing* active_ring();
 }  // namespace detail
 
 /// True while a TelemetrySession is active. The one-branch gate every
@@ -196,7 +210,9 @@ class TelemetrySession {
   std::uint64_t epoch_;
 
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  /// Non-owning: rings live in a process-lifetime pool (telemetry.cpp) so
+  /// late writers never touch freed memory after the session is gone.
+  std::vector<ThreadRing*> rings_;
   std::vector<LogRecord> logs_;
   std::uint64_t logs_dropped_ = 0;
 };
@@ -232,15 +248,19 @@ class ScopeTimer {
  public:
   ScopeTimer(const char* cat, const char* name) {
     if (!enabled()) return;
-    if (TelemetrySession* s = TelemetrySession::active()) {
-      ring_ = s->ring_for_this_thread();
-      cat_ = cat;
-      name_ = name;
-      start_ = detail::now_ns();
-    }
+    ring_ = detail::active_ring();
+    if (!ring_) return;
+    epoch_ = session_epoch();
+    cat_ = cat;
+    name_ = name;
+    start_ = detail::now_ns();
   }
   ~ScopeTimer() {
     if (!ring_) return;
+    // The ring is process-lifetime memory, so this push is safe even if
+    // the session was destroyed while the scope was open; the checks keep
+    // a straddling scope out of a newer session's trace.
+    if (!enabled() || session_epoch() != epoch_) return;
     TraceEvent ev;
     ev.name = name_;
     ev.cat = cat_;
@@ -258,6 +278,7 @@ class ScopeTimer {
   const char* cat_ = nullptr;
   const char* name_ = nullptr;
   std::int64_t start_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Call-site handle that caches a metric id across calls and re-resolves

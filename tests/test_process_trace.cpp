@@ -168,6 +168,18 @@ TEST(TraceRecorder, DumpAllCsvLongFormat) {
             "3,a,30\n");
 }
 
+TEST(TraceRecorder, DumpAllCsvEscapesFreeFormFields) {
+  TraceRecorder trace;
+  trace.record("a,b", 1.0, 10.0);
+  trace.mark(2.0, "change \"C5\", N2");
+  std::ostringstream os;
+  trace.dump_all_csv(os);
+  EXPECT_EQ(os.str(),
+            "time,series,value\n"
+            "1,\"a,b\",10\n"
+            "2,marker,\"change \"\"C5\"\", N2\"\n");
+}
+
 TEST(TraceRecorder, MarkersAccumulate) {
   TraceRecorder trace;
   trace.mark(1.0, "N1");

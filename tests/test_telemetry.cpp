@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -418,6 +420,52 @@ TEST(Telemetry, HandlesReresolveAcrossSessions) {
     EXPECT_DOUBLE_EQ(second.metrics().snapshot().find("handle.epoch")->value,
                      1.0);
   }
+}
+
+TEST(Metrics, CsvCounterCountAndNameQuoting) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("hits,total");
+  reg.add(c, 1.0);
+  reg.add(c, 2.0);
+  reg.add(c, 0.5);
+  std::ostringstream csv;
+  reg.snapshot().write_csv(csv);
+  // Real add-call count (3, not a hard-coded 1) and a quoted name.
+  EXPECT_NE(csv.str().find("\"hits,total\",counter,3,3.5"),
+            std::string::npos)
+      << csv.str();
+}
+
+TEST(Metrics, ConcurrentRegistrationKeepsObserveBoundsStable) {
+  MetricsRegistry reg;
+  const MetricId h = reg.histogram("hot", {1.0, 2.0, 4.0, 8.0});
+  std::atomic<bool> stop{false};
+  // Grow the descriptor container from one thread while another reads the
+  // hot histogram's bounds unlocked on the observe() fast path; under
+  // ASan/TSan this is the regression test for descriptor address
+  // stability.
+  std::thread registrar([&] {
+    for (int i = 0; i < 2000; ++i) reg.counter("churn." + std::to_string(i));
+    stop.store(true);
+  });
+  std::uint64_t n = 0;
+  while (!stop.load()) {
+    reg.observe(h, 3.0);
+    ++n;
+  }
+  registrar.join();
+  EXPECT_EQ(reg.snapshot().find("hot")->hist.count, n);
+}
+
+TEST(Telemetry, ScopeStraddlingSessionTeardownIsDropped) {
+  auto first = std::make_unique<TelemetrySession>();
+  auto scope = std::make_unique<ScopeTimer>("test", "straddler");
+  first.reset();  // session ends while the scope is still open
+  TelemetrySession second;
+  scope.reset();  // closes with a stale epoch: must not crash or pollute
+  std::ostringstream os;
+  second.write_chrome_trace(os);
+  EXPECT_EQ(os.str().find("straddler"), std::string::npos);
 }
 
 TEST(Telemetry, InternReturnsStablePointers) {
