@@ -14,6 +14,11 @@
 //   --metrics <file.json>  dump the telemetry metrics snapshot as JSON
 // Either flag activates a TelemetrySession and prints the wall-clock
 // profile report at exit.
+//
+//   --edge [preset]        route decimation and warm-start fetches through
+//                          a shared contended edge server (preset: lan |
+//                          wifi | congested, default wifi) and print the
+//                          edge-health roll-up.
 
 #include <fstream>
 #include <iomanip>
@@ -30,14 +35,20 @@ int main(int argc, char** argv) {
 
   std::string trace_path;
   std::string metrics_path;
+  bool use_edge = false;
+  std::string edge_preset = "wifi";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--edge") {
+      use_edge = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
     } else {
-      std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]\n";
+      std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
+                   " [--edge [lan|wifi|congested]]\n";
       return 2;
     }
   }
@@ -63,10 +74,17 @@ int main(int argc, char** argv) {
   spec.session.hbo.selection_candidates = 1;
   spec.session.hbo.control_period_s = 1.0;
   spec.session.hbo.monitor_period_s = 1.0;
+  if (use_edge) {
+    spec.use_edge_service = true;
+    spec.edge = edgesvc::edge_service_preset(edge_preset);
+  }
 
   fleet::FleetSimulator simulator(spec);
   std::cout << "Simulating a fleet of " << spec.sessions
-            << " MAR sessions (Pixel 7 / Galaxy S22, SC1/SC2 x CF1/CF2)...\n\n";
+            << " MAR sessions (Pixel 7 / Galaxy S22, SC1/SC2 x CF1/CF2)"
+            << (use_edge ? " sharing a '" + edge_preset + "' edge server"
+                         : std::string())
+            << "...\n\n";
   const fleet::FleetResult result = simulator.run();
 
   std::cout << std::fixed << std::setprecision(3);
@@ -99,6 +117,17 @@ int main(int argc, char** argv) {
             << "  pool: " << m.pool.size << " entries, hit rate "
             << m.pool.hit_rate() << ", " << m.pool.stores << " stores, "
             << m.pool.evictions << " evictions\n";
+  if (m.edge.enabled) {
+    std::cout << "  edge: " << m.edge.requests << " requests, "
+              << m.edge.retries << " retries, " << m.edge.fallbacks
+              << " fallbacks (" << m.edge.decim_fallbacks << " nearest-LOD, "
+              << m.edge.bo_fallbacks << " local-BO)\n"
+              << "        rejection rate=" << m.edge.rejection_rate
+              << " fallback rate=" << m.edge.fallback_rate
+              << " queue depth p95=" << std::setprecision(1)
+              << m.edge.queue_depth_p95 << " mean wait="
+              << std::setprecision(3) << m.edge.mean_wait_ms << " ms\n";
+  }
 
   if (telem) {
     // The fleet's worker pool has been joined, so every instrumented

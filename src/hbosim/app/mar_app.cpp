@@ -70,18 +70,30 @@ void MarApp::apply_allocation(const std::vector<soc::Delegate>& delegates) {
     engine_.set_delegate(task_order_[i], delegates[i]);
 }
 
+void MarApp::attach_edge(edgesvc::EdgeClient* client) {
+  if (client == nullptr) {
+    decimation_.attach_edge(nullptr, {});
+    return;
+  }
+  decimation_.attach_edge(client, [this] { return sim_.now(); });
+}
+
 void MarApp::apply_object_ratios(const std::vector<double>& ratios) {
   const std::vector<ObjectId> ids = scene_.object_ids();
   HB_REQUIRE(ratios.size() == ids.size(),
              "ratio vector size must match the scene");
   double max_delay = 0.0;
-  std::vector<std::pair<ObjectId, double>> served(ids.size());
+  std::vector<std::pair<ObjectId, double>> served;
+  served.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const auto& obj = scene_.object(ids[i]);
     const edge::DecimationResult res =
         decimation_.request(obj.asset(), ratios[i]);
-    served[i] = {ids[i], res.served_ratio};
     max_delay = std::max(max_delay, res.delay_s);
+    // An `unchanged` fallback means the edge path failed with nothing
+    // cached: the object keeps its current version, so there is nothing
+    // to redraw for it.
+    if (!res.unchanged) served.emplace_back(ids[i], res.served_ratio);
   }
   // Versions download in parallel; the redraw happens once the slowest
   // arrives. Ratios are captured by value so later calls cannot clobber

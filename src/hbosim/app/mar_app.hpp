@@ -52,6 +52,12 @@ class MarApp {
   edge::DecimationService& decimation() { return decimation_; }
   const MarAppConfig& config() const { return cfg_; }
 
+  /// Route decimation cache misses through a contended edge service
+  /// (edgesvc::EdgeClient), wired to this app's simulation clock. Pass
+  /// nullptr to restore the closed-form NetworkModel path. The client
+  /// must outlive the app.
+  void attach_edge(edgesvc::EdgeClient* client);
+
   // --- scene management ----------------------------------------------------
   /// Place an object at full quality; returns its id.
   ObjectId add_object(std::shared_ptr<const render::MeshAsset> asset,

@@ -61,9 +61,26 @@ void MonitoredSession::activate() {
     bool shared = false;
     if (!hit && store_.fetch) {
       // Local miss: another session may already have solved this
-      // environment (Section VI's "share results across users").
-      hit = store_.fetch(key);
-      shared = hit.has_value();
+      // environment (Section VI's "share results across users"). With an
+      // edge client attached, reaching the server-side pool costs a real
+      // contended exchange that can fail — in which case this activation
+      // runs fully local rather than stalling on a dead link.
+      bool store_reachable = true;
+      if (edge_ != nullptr) {
+        const std::optional<double> rt =
+            remote_link_.round_trip_via(*edge_, app_.sim().now());
+        if (rt) {
+          app_.sim().run_until(app_.sim().now() + *rt);
+        } else {
+          store_reachable = false;
+          ++edge_bo_fallbacks_;
+          HB_TELEM_COUNT("hbo.edge_bo_fallback_local", 1.0);
+        }
+      }
+      if (store_reachable) {
+        hit = store_.fetch(key);
+        shared = hit.has_value();
+      }
     }
     if (hit) {
       // Warm start: apply the remembered configuration and check it still

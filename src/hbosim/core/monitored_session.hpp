@@ -8,6 +8,7 @@
 #include "hbosim/core/activation.hpp"
 #include "hbosim/core/controller.hpp"
 #include "hbosim/core/lookup_table.hpp"
+#include "hbosim/edge/remote_optimizer.hpp"
 
 /// \file monitored_session.hpp
 /// The full HBO runtime loop as a reusable component: monitor the reward
@@ -91,6 +92,18 @@ class MonitoredSession {
     store_ = std::move(hooks);
   }
 
+  /// Model the shared-store fetch as a remote exchange with the edge box
+  /// (Section VI: the pool lives server-side). While attached, a local
+  /// lookup miss costs one RemoteBo round trip before the store is
+  /// consulted; if the exchange fails after retries, the store is skipped
+  /// and the session falls back to local BO for this activation. Pass
+  /// nullptr to detach. The client must outlive the session.
+  void set_edge(edgesvc::EdgeClient* client) { edge_ = client; }
+
+  /// Store fetches abandoned because the edge exchange failed (each one
+  /// forced a full local activation instead of a possible warm start).
+  std::uint64_t edge_bo_fallbacks() const { return edge_bo_fallbacks_; }
+
   /// Streaming statistics over every monitored period observed so far
   /// (quality Q_t, latency ratio epsilon_t, reward B_t) — the per-session
   /// aggregates fleet runs roll up without retaining full traces.
@@ -109,6 +122,9 @@ class MonitoredSession {
   EventActivationPolicy policy_;
   SolutionLookupTable lookup_;
   SolutionStoreHooks store_;
+  edgesvc::EdgeClient* edge_ = nullptr;
+  edge::RemoteOptimizerLink remote_link_{};
+  std::uint64_t edge_bo_fallbacks_ = 0;
   Ewma smoothed_;
   RunningStat quality_stat_;
   RunningStat latency_stat_;

@@ -69,6 +69,14 @@ class BasicLruCache {
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
 
+  /// Visit every (key, value) pair, most-recently-used first, without
+  /// touching recency or counters. Lets callers scan for a near-match
+  /// (e.g. the nearest cached LOD) when the exact key missed.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [key, value] : order_) fn(key, value);
+  }
+
  private:
   std::size_t capacity_;
   // Most-recent at front.

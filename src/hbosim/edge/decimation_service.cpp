@@ -1,6 +1,7 @@
 #include "hbosim/edge/decimation_service.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "hbosim/common/error.hpp"
 #include "hbosim/telemetry/telemetry.hpp"
@@ -13,12 +14,55 @@ DecimationService::DecimationService(DecimationServiceConfig cfg)
   HB_REQUIRE(cfg_.server_ms_per_mtri >= 0.0, "server cost must be >= 0");
 }
 
+void DecimationService::attach_edge(edgesvc::EdgeClient* client,
+                                    std::function<double()> clock) {
+  HB_REQUIRE(client == nullptr || static_cast<bool>(clock),
+             "attaching an edge client requires a simulation clock");
+  edge_ = client;
+  clock_ = std::move(clock);
+}
+
 double DecimationService::quantize_ratio(double ratio) const {
   HB_REQUIRE(ratio >= 0.0 && ratio <= 1.0, "ratio must be in [0,1]");
   if (ratio == 0.0) return 0.0;
   const double levels = static_cast<double>(cfg_.ratio_levels);
   const double q = std::ceil(ratio * levels) / levels;  // never degrade below ask
   return std::min(q, 1.0);
+}
+
+DecimationResult DecimationService::nearest_cached_lod(
+    const render::MeshAsset& asset, double wanted_ratio) const {
+  // Scan the cache for versions of this object ("name@level" keys) and
+  // pick the level closest to the one we wanted, preferring the higher
+  // LOD on ties. No recency update: this is an emergency substitute, not
+  // a normal access.
+  const std::string prefix = asset.name() + "@";
+  const double wanted_level = wanted_ratio * cfg_.ratio_levels;
+  int best_level = -1;
+  std::uint64_t best_triangles = 0;
+  cache_.for_each_entry([&](const std::string& key, std::uint64_t triangles) {
+    if (key.compare(0, prefix.size(), prefix) != 0) return;
+    const int level = std::atoi(key.c_str() + prefix.size());
+    if (best_level < 0 ||
+        std::abs(level - wanted_level) < std::abs(best_level - wanted_level) ||
+        (std::abs(level - wanted_level) == std::abs(best_level - wanted_level) &&
+         level > best_level)) {
+      best_level = level;
+      best_triangles = triangles;
+    }
+  });
+
+  DecimationResult out;
+  out.fallback = true;
+  if (best_level < 0) {
+    // Nothing cached at all: keep showing whatever version is on screen.
+    out.unchanged = true;
+    return out;
+  }
+  out.triangles = best_triangles;
+  out.served_ratio =
+      static_cast<double>(best_level) / static_cast<double>(cfg_.ratio_levels);
+  return out;
 }
 
 DecimationResult DecimationService::request(const render::MeshAsset& asset,
@@ -47,9 +91,34 @@ DecimationResult DecimationService::request(const render::MeshAsset& asset,
                           static_cast<double>(asset.max_triangles()) / 1e6;
   const auto payload = static_cast<std::uint64_t>(
       cfg_.bytes_per_triangle * static_cast<double>(out.triangles));
-  out.delay_s = server_s + cfg_.network.transfer_seconds(payload);
-  cache_.put(key, out.triangles);
-  return out;
+
+  if (edge_ == nullptr) {
+    out.delay_s = server_s + cfg_.network.transfer_seconds(payload);
+    cache_.put(key, out.triangles);
+    return out;
+  }
+
+  // Contended path: decimation work is priced by the shared server's own
+  // spec (units = millions of input triangles); the response payload is
+  // the decimated mesh.
+  const edgesvc::EdgeResponse resp = edge_->perform(
+      edgesvc::RequestClass::Decimation,
+      static_cast<double>(asset.max_triangles()) / 1e6, payload, clock_());
+  if (resp.ok) {
+    out.delay_s = resp.elapsed_s;
+    out.edge_attempts = resp.attempts;
+    cache_.put(key, out.triangles);
+    return out;
+  }
+
+  // Edge gave up: degrade to the nearest LOD already on device. The time
+  // spent retrying is still charged — the user waited through it.
+  ++edge_fallbacks_;
+  HB_TELEM_COUNT("edge.decim_fallbacks", 1.0);
+  DecimationResult degraded = nearest_cached_lod(asset, out.served_ratio);
+  degraded.delay_s = resp.elapsed_s;
+  degraded.edge_attempts = resp.attempts;
+  return degraded;
 }
 
 render::DegradationParams DecimationService::train_parameters(

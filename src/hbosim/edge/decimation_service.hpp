@@ -1,9 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "hbosim/edge/cache.hpp"
 #include "hbosim/edge/network.hpp"
+#include "hbosim/edgesvc/edge_client.hpp"
 #include "hbosim/render/mesh.hpp"
 
 /// \file decimation_service.hpp
@@ -15,6 +17,15 @@
 /// proportional to the mesh size). Ratios are quantized to a discrete
 /// level grid, exactly as a real deployment caches a bounded set of
 /// versions per object.
+///
+/// Two remote paths exist:
+///  - the legacy closed-form NetworkModel (default): fixed delay, always
+///    succeeds;
+///  - a contended edgesvc::EdgeClient (via attach_edge): the request
+///    competes with other tenants for the shared edge box over a lossy
+///    link, and can fail. On failure the device degrades gracefully —
+///    it serves the nearest already-cached LOD of the same object, or
+///    keeps the currently displayed version if nothing is cached.
 ///
 /// The service also exposes the offline degradation-parameter trainer the
 /// paper mentions (eAR's per-object fitting): deterministic synthetic
@@ -28,6 +39,14 @@ struct DecimationResult {
   double served_ratio = 0.0;    ///< Quantized ratio actually served.
   double delay_s = 0.0;         ///< Simulated fetch delay (0 on cache hit).
   bool cache_hit = false;
+  /// Edge request failed and a degraded substitute was served instead.
+  bool fallback = false;
+  /// Fallback found nothing cached for this object: keep the version the
+  /// device is already displaying (triangles/served_ratio not meaningful).
+  bool unchanged = false;
+  /// Attempts the edge client spent on this request (0 on cache hit or
+  /// legacy path).
+  int edge_attempts = 0;
 };
 
 struct DecimationServiceConfig {
@@ -45,6 +64,13 @@ class DecimationService {
  public:
   explicit DecimationService(DecimationServiceConfig cfg = {});
 
+  /// Route cache misses through a contended edge service instead of the
+  /// closed-form NetworkModel. `clock` supplies the current simulation
+  /// time (the edge server mirror needs real arrival times to model
+  /// queueing). Pass nullptr to detach and restore the legacy path.
+  void attach_edge(edgesvc::EdgeClient* client,
+                   std::function<double()> clock);
+
   /// Request `asset` decimated to `ratio` (in [0,1]).
   DecimationResult request(const render::MeshAsset& asset, double ratio);
 
@@ -54,15 +80,23 @@ class DecimationService {
 
   std::uint64_t cache_hits() const { return cache_.hits(); }
   std::uint64_t cache_misses() const { return cache_.misses(); }
+  std::uint64_t edge_fallbacks() const { return edge_fallbacks_; }
   const DecimationServiceConfig& config() const { return cfg_; }
+  bool edge_attached() const { return edge_ != nullptr; }
 
   /// Quantize a ratio onto the service's level grid (never returns 0
   /// unless the input is 0).
   double quantize_ratio(double ratio) const;
 
  private:
+  DecimationResult nearest_cached_lod(const render::MeshAsset& asset,
+                                      double wanted_ratio) const;
+
   DecimationServiceConfig cfg_;
   LruCache cache_;
+  edgesvc::EdgeClient* edge_ = nullptr;
+  std::function<double()> clock_;
+  std::uint64_t edge_fallbacks_ = 0;
 };
 
 }  // namespace hbosim::edge

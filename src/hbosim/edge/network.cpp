@@ -1,13 +1,21 @@
 #include "hbosim/edge/network.hpp"
 
-#include "hbosim/common/error.hpp"
-
 namespace hbosim::edge {
 
+edgesvc::LinkModelConfig NetworkModel::as_link_config() const {
+  edgesvc::LinkModelConfig link;
+  link.rtt_ms = rtt_ms;
+  link.mbit_per_s = mbit_per_s;
+  // Everything stochastic stays at its degenerate default: no jitter, no
+  // loss, no sharing. nominal_seconds then reduces to the historical
+  // closed form rtt + bits/bandwidth, bit for bit.
+  return link;
+}
+
 double NetworkModel::transfer_seconds(std::uint64_t payload_bytes) const {
-  HB_REQUIRE(rtt_ms >= 0.0 && mbit_per_s > 0.0, "invalid network model");
-  const double bits = static_cast<double>(payload_bytes) * 8.0;
-  return rtt_ms * 1e-3 + bits / (mbit_per_s * 1e6);
+  const edgesvc::LinkModelConfig link = as_link_config();
+  link.validate();
+  return edgesvc::LinkModel(link).nominal_seconds(payload_bytes);
 }
 
 }  // namespace hbosim::edge

@@ -2,11 +2,20 @@
 
 #include <cstdint>
 
+#include "hbosim/edgesvc/link_model.hpp"
+
 /// \file network.hpp
 /// Wi-Fi/5G link model for talking to the edge decimation server (paper
 /// Fig. 3). Deliberately simple: a base round-trip time plus a throughput
 /// term for the decimated mesh payload. The paper notes the *optimization*
 /// payload is a few bytes; mesh downloads are what costs time.
+///
+/// NetworkModel is now a compatibility shim over edgesvc::LinkModel: it
+/// keeps the original two-field struct and closed-form API, but validates
+/// and computes through the stochastic link model's degenerate (jitter-
+/// and loss-free, unshared) configuration, so both paths agree bit for
+/// bit and share one validation story — in particular, a zero/near-zero
+/// throughput is a configuration error instead of an inf/NaN event time.
 
 namespace hbosim::edge {
 
@@ -15,7 +24,13 @@ struct NetworkModel {
   double mbit_per_s = 120.0;     ///< Downlink throughput.
 
   /// One request/response exchange transferring `payload_bytes` down.
+  /// Throws hbosim::Error on an invalid model (negative RTT, throughput
+  /// below edgesvc::kMinLinkMbitPerS, or non-finite values).
   double transfer_seconds(std::uint64_t payload_bytes) const;
+
+  /// This model as the degenerate stochastic-link configuration — the
+  /// upgrade path for callers moving to the contended edge service.
+  edgesvc::LinkModelConfig as_link_config() const;
 };
 
 }  // namespace hbosim::edge

@@ -16,6 +16,18 @@ double RemoteOptimizerLink::round_trip_seconds() const {
          cfg_.network.transfer_seconds(cfg_.download_bytes);
 }
 
+std::optional<double> RemoteOptimizerLink::round_trip_via(
+    edgesvc::EdgeClient& client, double now_s) const {
+  // The suggest step's cost is priced by the shared server's bo_suggest_ms
+  // (units = 1 suggest); the uplink payload is folded into the exchange
+  // alongside the downlink, matching the closed-form path's accounting.
+  const edgesvc::EdgeResponse resp =
+      client.perform(edgesvc::RequestClass::RemoteBo, 1.0,
+                     cfg_.upload_bytes + cfg_.download_bytes, now_s);
+  if (!resp.ok) return std::nullopt;
+  return resp.elapsed_s;
+}
+
 std::uint64_t RemoteOptimizerLink::bytes_per_iteration() const {
   return cfg_.upload_bytes + cfg_.download_bytes;
 }

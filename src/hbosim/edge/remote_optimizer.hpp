@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "hbosim/edge/network.hpp"
+#include "hbosim/edgesvc/edge_client.hpp"
 
 /// \file remote_optimizer.hpp
 /// Section VI's offload path: "the Bayesian Optimization algorithm can be
@@ -38,6 +40,14 @@ class RemoteOptimizerLink {
   /// Wall time consumed by one offloaded BO iteration's exchange
   /// (upload + server compute + download), in seconds.
   double round_trip_seconds() const;
+
+  /// The same exchange through a contended edge service: the suggest step
+  /// queues behind other tenants and the payloads cross a lossy link.
+  /// Returns the elapsed seconds on success, or nullopt when the client
+  /// exhausted its attempt budget — the caller should fall back to
+  /// running BO locally.
+  std::optional<double> round_trip_via(edgesvc::EdgeClient& client,
+                                       double now_s) const;
 
   /// Bytes moved per iteration (for the energy argument in Section VI).
   std::uint64_t bytes_per_iteration() const;

@@ -1,0 +1,101 @@
+#include "hbosim/edgesvc/broker.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::edgesvc {
+
+void EdgeServiceSpec::validate() const {
+  server.validate();
+  link.validate();
+  client.validate();
+  background.validate();
+  HB_REQUIRE(std::isfinite(transfer_flows_per_tenant) &&
+                 transfer_flows_per_tenant >= 0.0,
+             "transfer_flows_per_tenant must be finite and >= 0");
+}
+
+EdgeServiceSpec edge_service_preset(std::string_view name) {
+  EdgeServiceSpec spec;
+  if (name == "lan") {
+    spec.server.cores = 16;
+    spec.server.queue_capacity = 256;
+    spec.link.rtt_ms = 2.0;
+    spec.link.mbit_per_s = 900.0;
+    spec.background.per_tenant_rps = 0.2;
+    return spec;
+  }
+  if (name == "wifi") {
+    // The paper's Fig. 3 deployment: a campus AP in front of a mid-size
+    // edge box. Mild jitter, rare shallow loss bursts.
+    spec.server.cores = 4;
+    spec.server.queue_capacity = 64;
+    spec.link.rtt_ms = 20.0;
+    spec.link.mbit_per_s = 120.0;
+    spec.link.rtt_jitter_frac = 0.2;
+    spec.link.p_good_to_bad = 0.02;
+    spec.link.p_bad_to_good = 0.4;
+    spec.link.loss_bad = 0.3;
+    spec.background.per_tenant_rps = 0.4;
+    return spec;
+  }
+  if (name == "congested") {
+    // Overload regime: a starved cell link in front of a small box.
+    spec.server.cores = 2;
+    spec.server.queue_capacity = 16;
+    spec.link.rtt_ms = 45.0;
+    spec.link.mbit_per_s = 40.0;
+    spec.link.rtt_jitter_frac = 0.35;
+    spec.link.p_good_to_bad = 0.05;
+    spec.link.p_bad_to_good = 0.25;
+    spec.link.loss_bad = 0.5;
+    spec.link.loss_good = 0.005;
+    spec.background.per_tenant_rps = 0.8;
+    spec.background.mean_units = 0.25;
+    spec.client.timeout_s = 0.75;
+    spec.transfer_flows_per_tenant = 0.05;
+    return spec;
+  }
+  HB_REQUIRE(false, "unknown edge service preset: " + std::string(name) +
+                        " (expected lan | wifi | congested)");
+  return spec;
+}
+
+EdgeBroker::EdgeBroker(EdgeServiceSpec spec, std::size_t session_tenants)
+    : spec_(spec),
+      background_tenants_(
+          (session_tenants > 0 ? session_tenants - 1 : 0) +
+          spec.extra_tenants) {
+  spec_.validate();
+  HB_REQUIRE(session_tenants >= 1,
+             "edge broker needs at least one session tenant");
+}
+
+std::unique_ptr<EdgeClient> EdgeBroker::make_client(
+    std::uint64_t tenant_id, std::uint64_t session_seed) const {
+  LinkModelConfig link = spec_.link;
+  link.background_flows += spec_.transfer_flows_per_tenant *
+                           static_cast<double>(background_tenants_);
+  // Decorrelate the edge stream from the session's engine/BO streams.
+  SplitMix64 mix(spec_.seed_salt ^
+                 (session_seed * 0x9E3779B97F4A7C15ull + 0x1CEB00DAull));
+  return std::make_unique<EdgeClient>(spec_.client, spec_.server,
+                                      spec_.background, background_tenants_,
+                                      link, tenant_id, mix.next());
+}
+
+void EdgeBroker::absorb(const EdgeClient& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.client.merge(client.stats());
+  stats_.server.merge(client.server().stats());
+  ++stats_.clients_absorbed;
+}
+
+EdgeFleetStats EdgeBroker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hbosim::edgesvc

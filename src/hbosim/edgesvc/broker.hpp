@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "hbosim/edgesvc/edge_client.hpp"
+
+/// \file broker.hpp
+/// The fleet-facing entry point of hbosim::edgesvc: one EdgeBroker stands
+/// for one shared edge box serving every session of a fleet. It stamps
+/// out per-session EdgeClients — each a deterministic mirror of the
+/// shared server whose background load scales with the tenant count, so
+/// what a session experiences depends only on (spec, tenant count,
+/// session seed), never on thread scheduling — and absorbs their
+/// statistics into a thread-safe fleet-wide roll-up (rejection rate,
+/// fallback rate, queue depth p95) that fleet::FleetMetrics reports next
+/// to ε/Q/B.
+
+namespace hbosim::edgesvc {
+
+/// Everything needed to describe the shared edge service.
+struct EdgeServiceSpec {
+  EdgeServerSpec server;
+  LinkModelConfig link;
+  EdgeClientConfig client;
+  BackgroundLoadConfig background;
+  /// Non-session tenants loading the box on top of the fleet's sessions
+  /// (e.g. third-party apps on the same cell). Lets a single session
+  /// experience heavy contention without simulating a huge fleet.
+  std::size_t extra_tenants = 0;
+  /// Estimated concurrent downlink flows contributed per background
+  /// tenant (Little's-law style); scales the link's bandwidth sharing.
+  double transfer_flows_per_tenant = 0.02;
+  /// Salted into every client's Rng seed.
+  std::uint64_t seed_salt = 0xED6E5EEDull;
+
+  void validate() const;
+};
+
+/// Named starting points for experiments: "lan" (fat link, many cores,
+/// effectively uncontended), "wifi" (the paper's Fig. 3 setup with mild
+/// jitter), "congested" (few cores, shallow queue, bursty lossy cell
+/// link — the overload regime).
+EdgeServiceSpec edge_service_preset(std::string_view name);
+
+/// Fleet-wide aggregate of every client mirror absorbed so far. Server
+/// counters are summed across mirrors, so rates are per-mirror averages
+/// weighted by arrivals (each mirror simulates its own view of the box).
+struct EdgeFleetStats {
+  EdgeClientStats client;
+  EdgeServerStats server;
+  std::size_t clients_absorbed = 0;
+};
+
+class EdgeBroker {
+ public:
+  /// `session_tenants` is the number of fleet sessions sharing the box.
+  EdgeBroker(EdgeServiceSpec spec, std::size_t session_tenants);
+
+  /// Build the mirror client for one session. Deterministic in (spec,
+  /// tenant count, session_seed); callable from any thread.
+  std::unique_ptr<EdgeClient> make_client(std::uint64_t tenant_id,
+                                          std::uint64_t session_seed) const;
+
+  /// Fold a finished client's statistics into the fleet view
+  /// (thread-safe; call once per client, after its session completed).
+  void absorb(const EdgeClient& client);
+
+  EdgeFleetStats stats() const;
+  const EdgeServiceSpec& spec() const { return spec_; }
+  /// Background tenants each mirror simulates (sessions - 1 + extra).
+  std::size_t background_tenants() const { return background_tenants_; }
+
+ private:
+  EdgeServiceSpec spec_;
+  std::size_t background_tenants_;
+
+  mutable std::mutex mu_;
+  EdgeFleetStats stats_;
+};
+
+}  // namespace hbosim::edgesvc

@@ -21,11 +21,19 @@ MetricSummary summarize_metric(const std::vector<double>& values) {
 
 FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
                              double wall_seconds,
-                             const SharedSolutionPoolStats& pool) {
+                             const SharedSolutionPoolStats& pool,
+                             const edgesvc::EdgeFleetStats* edge) {
   FleetMetrics out;
   out.sessions = sessions.size();
   out.wall_seconds = wall_seconds;
   out.pool = pool;
+  if (edge != nullptr) {
+    out.edge.enabled = true;
+    out.edge.rejection_rate = edge->server.rejection_rate();
+    out.edge.fallback_rate = edge->client.fallback_rate();
+    out.edge.queue_depth_p95 = edge->server.queue_depth_p95();
+    out.edge.mean_wait_ms = edge->server.mean_wait_s() * 1e3;
+  }
   if (sessions.empty()) return out;
 
   std::vector<double> quality, eps, reward;
@@ -40,6 +48,13 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
     out.total_activations += s.activations;
     out.total_warm_starts += s.warm_starts;
     out.total_shared_warm_starts += s.shared_warm_starts;
+    out.edge.requests += s.edge_requests;
+    out.edge.retries += s.edge_retries;
+    out.edge.rejected_attempts += s.edge_rejected_attempts;
+    out.edge.timeout_attempts += s.edge_timeout_attempts;
+    out.edge.fallbacks += s.edge_fallbacks;
+    out.edge.decim_fallbacks += s.edge_decim_fallbacks;
+    out.edge.bo_fallbacks += s.edge_bo_fallbacks;
   }
   out.quality = summarize_metric(quality);
   out.latency_ratio = summarize_metric(eps);

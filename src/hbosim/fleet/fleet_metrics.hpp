@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "hbosim/edgesvc/broker.hpp"
 #include "hbosim/fleet/shared_pool.hpp"
 
 /// \file fleet_metrics.hpp
@@ -33,6 +34,15 @@ struct SessionResult {
   std::size_t activations = 0;        ///< All activations (incl. warm).
   std::size_t warm_starts = 0;        ///< Served from any remembered entry.
   std::size_t shared_warm_starts = 0; ///< Served from the fleet pool.
+
+  // Edge-service interaction (all zero when the fleet runs without one).
+  std::uint64_t edge_requests = 0;          ///< Requests issued to the edge.
+  std::uint64_t edge_retries = 0;           ///< Re-attempts after a failure.
+  std::uint64_t edge_rejected_attempts = 0; ///< Bounced at the bounded queue.
+  std::uint64_t edge_timeout_attempts = 0;  ///< Deadline-missing attempts.
+  std::uint64_t edge_fallbacks = 0;         ///< Requests that gave up (any class).
+  std::uint64_t edge_decim_fallbacks = 0;   ///< Served a nearest-cached LOD.
+  std::uint64_t edge_bo_fallbacks = 0;      ///< Store fetch fell back to local BO.
 
   double wall_seconds = 0.0;  ///< Host time spent simulating this session.
 };
@@ -66,6 +76,25 @@ struct FleetMetrics {
   double warm_start_rate = 0.0;
 
   SharedSolutionPoolStats pool;  ///< Zeroed when no pool was attached.
+
+  /// Health of the shared edge service, rolled up from every session's
+  /// mirror (see edgesvc::EdgeBroker). All-zero when the fleet ran
+  /// without an edge service.
+  struct EdgeHealth {
+    bool enabled = false;
+    std::uint64_t requests = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t rejected_attempts = 0;
+    std::uint64_t timeout_attempts = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t decim_fallbacks = 0;
+    std::uint64_t bo_fallbacks = 0;
+    double rejection_rate = 0.0;  ///< Server-side: rejected / arrivals.
+    double fallback_rate = 0.0;   ///< Client-side: fallbacks / requests.
+    double queue_depth_p95 = 0.0; ///< Arrival-weighted queue depth p95.
+    double mean_wait_ms = 0.0;    ///< Mean admitted-request queue wait.
+  };
+  EdgeHealth edge;
 };
 
 /// Summarize one metric sample (throws on empty input, like percentile()).
@@ -73,9 +102,11 @@ MetricSummary summarize_metric(const std::vector<double>& values);
 
 /// Roll per-session results up into fleet-wide metrics. `wall_seconds` is
 /// the end-to-end fleet run time (not the sum of per-session times, which
-/// overlap under multi-threading).
+/// overlap under multi-threading). Pass the broker's stats as `edge` when
+/// the fleet shared an edge service (null → edge health left zeroed).
 FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
                              double wall_seconds,
-                             const SharedSolutionPoolStats& pool = {});
+                             const SharedSolutionPoolStats& pool = {},
+                             const edgesvc::EdgeFleetStats* edge = nullptr);
 
 }  // namespace hbosim::fleet

@@ -60,6 +60,7 @@ void FleetSpec::validate() const {
   check_weights(scenarios, "scenario");
   for (const DeviceMixEntry& d : devices)
     soc::find_builtin(d.device);  // throws for unknown names
+  if (use_edge_service) edge.validate();
 }
 
 FleetSimulator::FleetSimulator(FleetSpec spec) : spec_(std::move(spec)) {
@@ -117,6 +118,13 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
   if (pool_) cfg.use_lookup_table = true;
   core::MonitoredSession session(*app, cfg);
 
+  std::unique_ptr<edgesvc::EdgeClient> edge_client;
+  if (broker_) {
+    edge_client = broker_->make_client(spec.id, spec.seed);
+    app->attach_edge(edge_client.get());
+    session.set_edge(edge_client.get());
+  }
+
   if (pool_) {
     // Bind this session's pool coordinates once; the environment part of
     // the key varies per activation.
@@ -154,6 +162,17 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
     if (a.warm_start) ++out.warm_starts;
     if (a.from_shared_store) ++out.shared_warm_starts;
   }
+  if (edge_client) {
+    const edgesvc::EdgeClientStats& es = edge_client->stats();
+    out.edge_requests = es.requests;
+    out.edge_retries = es.retries;
+    out.edge_rejected_attempts = es.rejected_attempts;
+    out.edge_timeout_attempts = es.timeout_attempts;
+    out.edge_fallbacks = es.fallbacks;
+    out.edge_decim_fallbacks = app->decimation().edge_fallbacks();
+    out.edge_bo_fallbacks = session.edge_bo_fallbacks();
+    broker_->absorb(*edge_client);
+  }
   out.wall_seconds = seconds_since(t0);
   if (telemetry::enabled()) {
     HB_TELEM_COUNT("fleet.sessions_completed", 1.0);
@@ -167,6 +186,11 @@ FleetResult FleetSimulator::run() {
   pool_.reset();
   if (spec_.use_shared_pool)
     pool_ = std::make_unique<SharedSolutionPool>(spec_.pool);
+  broker_.reset();
+  if (spec_.use_edge_service) {
+    broker_ =
+        std::make_unique<edgesvc::EdgeBroker>(spec_.edge, spec_.sessions);
+  }
 
   const std::size_t threads =
       spec_.threads ? spec_.threads : ThreadPool::hardware_threads();
@@ -191,7 +215,10 @@ FleetResult FleetSimulator::run() {
 
   const SharedSolutionPoolStats pool_stats =
       pool_ ? pool_->stats() : SharedSolutionPoolStats{};
-  out.metrics = aggregate_fleet(out.sessions, seconds_since(t0), pool_stats);
+  const edgesvc::EdgeFleetStats edge_stats =
+      broker_ ? broker_->stats() : edgesvc::EdgeFleetStats{};
+  out.metrics = aggregate_fleet(out.sessions, seconds_since(t0), pool_stats,
+                                broker_ ? &edge_stats : nullptr);
   return out;
 }
 

@@ -62,6 +62,13 @@ struct FleetSpec {
   bool use_shared_pool = false;
   SharedSolutionPoolConfig pool;
 
+  /// Route every session's decimation misses and shared-store fetches
+  /// through one contended edge box (see hbosim::edgesvc). Each session
+  /// gets a deterministic mirror client from a shared EdgeBroker, so
+  /// per-session results stay bit-identical across thread counts.
+  bool use_edge_service = false;
+  edgesvc::EdgeServiceSpec edge;
+
   /// Throws hbosim::Error on nonsense (no sessions, negative weights, ...).
   void validate() const;
 };
@@ -100,10 +107,13 @@ class FleetSimulator {
   const FleetSpec& spec() const { return spec_; }
   /// Null unless use_shared_pool; reset at the start of every run().
   const SharedSolutionPool* pool() const { return pool_.get(); }
+  /// Null unless use_edge_service; reset at the start of every run().
+  const edgesvc::EdgeBroker* edge_broker() const { return broker_.get(); }
 
  private:
   FleetSpec spec_;
   std::unique_ptr<SharedSolutionPool> pool_;
+  std::unique_ptr<edgesvc::EdgeBroker> broker_;
 };
 
 }  // namespace hbosim::fleet

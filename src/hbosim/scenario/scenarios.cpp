@@ -135,7 +135,14 @@ std::uint64_t total_max_triangles(ObjectSet set) {
 std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
                                       ObjectSet objects, TaskSet tasks,
                                       std::uint64_t seed) {
-  app::MarAppConfig cfg;
+  return make_app(device, objects, tasks, seed, app::MarAppConfig{});
+}
+
+std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
+                                      ObjectSet objects, TaskSet tasks,
+                                      std::uint64_t seed,
+                                      const app::MarAppConfig& base) {
+  app::MarAppConfig cfg = base;
   cfg.engine.seed = seed;
   auto mar = std::make_unique<app::MarApp>(device, cfg);
   for (const ObjectPlacement& p : object_placements(objects))

@@ -55,4 +55,12 @@ std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
                                       ObjectSet objects, TaskSet tasks,
                                       std::uint64_t seed = 0x5EEDu);
 
+/// Same, but starting from a caller-supplied app configuration (e.g. a
+/// tuned decimation service or control period); only the engine seed is
+/// overridden with `seed`.
+std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
+                                      ObjectSet objects, TaskSet tasks,
+                                      std::uint64_t seed,
+                                      const app::MarAppConfig& base);
+
 }  // namespace hbosim::scenario

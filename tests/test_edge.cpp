@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "hbosim/common/error.hpp"
 #include "hbosim/edge/decimation_service.hpp"
 
@@ -42,6 +44,33 @@ TEST(NetworkModel, TransferTimeHasRttFloorAndThroughputTerm) {
   EXPECT_NEAR(net.transfer_seconds(0), 0.020, 1e-12);
   // 1 MB = 8 Mbit at 80 Mbit/s = 0.1 s, plus RTT.
   EXPECT_NEAR(net.transfer_seconds(1000000), 0.120, 1e-9);
+}
+
+TEST(NetworkModel, RejectsNearZeroThroughputAndNonFiniteValues) {
+  // Regression: a near-zero bandwidth used to slip past validation and
+  // turn downloads into astronomically large DES event times.
+  NetworkModel net;
+  net.mbit_per_s = 1e-9;
+  EXPECT_THROW(net.transfer_seconds(1000), hbosim::Error);
+  net.mbit_per_s = 0.0;
+  EXPECT_THROW(net.transfer_seconds(1000), hbosim::Error);
+  net = NetworkModel{};
+  net.rtt_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(net.transfer_seconds(1000), hbosim::Error);
+  net = NetworkModel{};
+  net.mbit_per_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(net.transfer_seconds(1000), hbosim::Error);
+  net = NetworkModel{};
+  net.rtt_ms = -5.0;
+  EXPECT_THROW(net.transfer_seconds(1000), hbosim::Error);
+}
+
+TEST(NetworkModel, ShimMatchesStochasticLinkNominal) {
+  NetworkModel net;
+  net.rtt_ms = 12.0;
+  net.mbit_per_s = 200.0;
+  const edgesvc::LinkModel link(net.as_link_config());
+  EXPECT_EQ(net.transfer_seconds(36'000), link.nominal_seconds(36'000));
 }
 
 render::MeshAsset test_asset() {
