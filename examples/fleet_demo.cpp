@@ -19,6 +19,12 @@
 //                          a shared contended edge server (preset: lan |
 //                          wifi | congested, default wifi) and print the
 //                          edge-health roll-up.
+//
+//   --power                attach the battery/thermal/DVFS model to every
+//                          session (hbosim::power), add the ThermalSoak
+//                          workload to the scenario mix so some sessions
+//                          actually heat into their throttle band, and
+//                          print the thermal/energy roll-up.
 
 #include <fstream>
 #include <iomanip>
@@ -36,6 +42,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool use_edge = false;
+  bool use_power = false;
   std::string edge_preset = "wifi";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -46,9 +53,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--edge") {
       use_edge = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
+    } else if (arg == "--power") {
+      use_power = true;
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
-                   " [--edge [lan|wifi|congested]]\n";
+                   " [--edge [lan|wifi|congested]] [--power]\n";
       return 2;
     }
   }
@@ -77,6 +86,21 @@ int main(int argc, char** argv) {
   if (use_edge) {
     spec.use_edge_service = true;
     spec.edge = edgesvc::edge_service_preset(edge_preset);
+  }
+  if (use_power) {
+    spec.use_power_model = true;
+    // Weight the soak workload heavily so the 40-second demo shows real
+    // throttling, and bias the ambient warm so the RC climb is shorter.
+    spec.scenarios = {{scenario::ObjectSet::SC1, scenario::TaskSet::CF1, 1.0},
+                      {scenario::ObjectSet::SC2, scenario::TaskSet::CF2, 1.0},
+                      {scenario::ObjectSet::ThermalSoak,
+                       scenario::TaskSet::CF1, 2.0}};
+    spec.power.ambient_c = 31.0;
+    // Devices start warm (prior use) and sessions run longer, so the soak
+    // workload reaches the governor's throttle band instead of spending
+    // the whole demo on the RC climb from a cold die.
+    spec.power.initial_temp_c = 60.0;
+    spec.duration_s = 90.0;
   }
 
   fleet::FleetSimulator simulator(spec);
@@ -127,6 +151,22 @@ int main(int argc, char** argv) {
               << " queue depth p95=" << std::setprecision(1)
               << m.edge.queue_depth_p95 << " mean wait="
               << std::setprecision(3) << m.edge.mean_wait_ms << " ms\n";
+  }
+  if (m.power.enabled) {
+    std::cout << "  power: " << std::setprecision(1) << m.power.total_energy_j
+              << " J total, mean draw " << std::setprecision(2)
+              << m.power.mean_power_w.mean << " W (p90 "
+              << m.power.mean_power_w.p90 << "), drain "
+              << m.power.drain_pct_per_hour.mean << " %/h\n"
+              << "         die temp max p50=" << std::setprecision(1)
+              << m.power.max_die_temp_c.p50 << " C p99="
+              << m.power.max_die_temp_c.p99 << " C, "
+              << m.power.throttle_events << " throttle steps across "
+              << std::setprecision(0)
+              << m.power.throttled_session_fraction * 100.0
+              << "% of sessions, deepest OPP " << std::setprecision(2)
+              << m.power.min_freq_scale << "x\n"
+              << std::setprecision(3);
   }
 
   if (telem) {

@@ -16,6 +16,14 @@ MarApp::MarApp(const soc::DeviceProfile& device, MarAppConfig cfg)
       engine_(sim_, soc_, cfg.engine),
       decimation_(cfg.decimation) {
   HB_REQUIRE(cfg_.control_period_s > 0.0, "control period must be positive");
+  if (cfg_.enable_power) {
+    power::DevicePowerModel model =
+        cfg_.power_model ? *cfg_.power_model
+                         : power::find_power_model(device_.name());
+    power_ = std::make_unique<power::PowerManager>(sim_, soc_,
+                                                   std::move(model),
+                                                   cfg_.power);
+  }
 }
 
 ObjectId MarApp::add_object(std::shared_ptr<const render::MeshAsset> asset,
@@ -134,10 +142,12 @@ PeriodMetrics MarApp::run_period(double seconds) {
 
   engine_.reset_window();
   const SimTime t0 = sim_.now();
+  const double e0 = power_ ? power_->total_energy_j() : 0.0;
   sim_.run_until(t0 + span);
   PeriodMetrics m = snapshot();
   m.period_start = t0;
   m.period_end = sim_.now();
+  if (power_) m.avg_power_w = (power_->total_energy_j() - e0) / span;
   return m;
 }
 
@@ -166,6 +176,11 @@ PeriodMetrics MarApp::snapshot() {
   }
   m.latency_ratio =
       samples.empty() ? 0.0 : ai::average_latency_ratio(samples);
+  if (power_) {
+    m.die_temp_c = power_->die_temp_c();
+    m.freq_scale = power_->freq_scale();
+    m.battery_soc = power_->battery_soc();
+  }
   return m;
 }
 

@@ -9,6 +9,7 @@
 #include "hbosim/app/metrics.hpp"
 #include "hbosim/des/simulator.hpp"
 #include "hbosim/edge/decimation_service.hpp"
+#include "hbosim/power/power_manager.hpp"
 #include "hbosim/render/render_load.hpp"
 #include "hbosim/render/scene.hpp"
 #include "hbosim/soc/device.hpp"
@@ -32,6 +33,17 @@ struct MarAppConfig {
   double control_period_s = 2.0;
   /// Repetitions used by the isolation profiler.
   int profile_reps = 3;
+
+  /// Attach a power/thermal/DVFS model (hbosim::power) to the session.
+  /// Off by default: with power disabled the app's event sequence is
+  /// bitwise identical to builds that predate the power subsystem.
+  bool enable_power = false;
+  /// Tick/ambient/governor knobs; only read when enable_power is set.
+  power::PowerConfig power;
+  /// Explicit device power model. When unset the model is looked up by
+  /// the device profile's name via power::find_power_model (which throws
+  /// for devices without a builtin model).
+  std::optional<power::DevicePowerModel> power_model;
 };
 
 class MarApp {
@@ -51,6 +63,10 @@ class MarApp {
   ai::InferenceEngine& engine() { return engine_; }
   edge::DecimationService& decimation() { return decimation_; }
   const MarAppConfig& config() const { return cfg_; }
+
+  /// The attached power manager, or nullptr when power is disabled.
+  power::PowerManager* power() { return power_.get(); }
+  const power::PowerManager* power() const { return power_.get(); }
 
   /// Route decimation cache misses through a contended edge service
   /// (edgesvc::EdgeClient), wired to this app's simulation clock. Pass
@@ -117,6 +133,7 @@ class MarApp {
   render::RenderLoadBinder render_binder_;
   ai::InferenceEngine engine_;
   edge::DecimationService decimation_;
+  std::unique_ptr<power::PowerManager> power_;
   std::vector<TaskId> task_order_;
   std::unique_ptr<ai::ProfileTable> profiles_;
 };

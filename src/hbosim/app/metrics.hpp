@@ -35,6 +35,18 @@ struct PeriodMetrics {
   /// Total triangle ratio on screen when measured.
   double triangle_ratio = 1.0;
 
+  // --- power/thermal (populated only when the app runs with power
+  // simulation enabled; defaults are the "cool, full clocks, full
+  // battery" state so power-agnostic consumers see neutral values) ------
+  /// Mean battery draw over the period (W); 0 without a power model.
+  double avg_power_w = 0.0;
+  /// Die temperature at period end (C); 0 without a power model.
+  double die_temp_c = 0.0;
+  /// DVFS frequency scale at period end (1.0 = nominal clocks).
+  double freq_scale = 1.0;
+  /// Battery state of charge at period end, in [0, 1].
+  double battery_soc = 1.0;
+
   /// Reward of Eq. 3 for a given latency/quality weight.
   double reward(double w) const { return average_quality - w * latency_ratio; }
 

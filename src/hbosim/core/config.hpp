@@ -17,6 +17,14 @@ struct HboConfig {
   /// Latency/quality weight in Eq. 3 (paper's example: 2.5).
   double w = 2.5;
 
+  /// Weight of the optional battery-draw term in the extended cost
+  /// phi = -(Q - w*eps) + w_energy * P_avg (per watt of mean period
+  /// power). 0 by default, which reproduces the paper's cost bit for
+  /// bit; a small positive value (~0.05/W) makes HBO prefer equally
+  /// rewarding configurations that run the SoC cooler. Only meaningful
+  /// when the app simulates power (MarAppConfig::enable_power).
+  double w_energy = 0.0;
+
   /// Random configurations seeding the BO database D at each activation.
   int n_initial = 5;
   /// BO iterations following initialization (paper: 15; Fig. 6 uses 20).

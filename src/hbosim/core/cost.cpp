@@ -14,4 +14,10 @@ double cost_of(const hbosim::app::PeriodMetrics& m, double w) {
   return cost(m.average_quality, m.latency_ratio, w);
 }
 
+double cost_of(const hbosim::app::PeriodMetrics& m, double w,
+               double w_energy) {
+  if (w_energy == 0.0) return cost_of(m, w);
+  return cost_of(m, w) + w_energy * m.avg_power_w;
+}
+
 }  // namespace hbosim::core

@@ -5,7 +5,10 @@
 /// \file cost.hpp
 /// Eq. 3 and Eq. 5: the reward B_t = Q_t - w * epsilon_t that HBO
 /// maximizes, and the cost phi = -B_t that the Bayesian optimizer
-/// minimizes.
+/// minimizes. An optional energy term extends the cost to
+/// phi = -(Q - w*epsilon) + w_energy * P_avg, letting energy-aware runs
+/// trade quality/latency against battery draw; with w_energy == 0 the
+/// extended form is bitwise identical to the paper's cost.
 
 namespace hbosim::core {
 
@@ -17,5 +20,11 @@ double cost(double average_quality, double latency_ratio, double w);
 
 /// Cost of a measured period.
 double cost_of(const hbosim::app::PeriodMetrics& m, double w);
+
+/// Energy-extended cost: cost_of(m, w) + w_energy * m.avg_power_w.
+/// Returns exactly cost_of(m, w) when w_energy == 0 (no extra arithmetic),
+/// so default configurations reproduce pre-energy results bit for bit.
+double cost_of(const hbosim::app::PeriodMetrics& m, double w,
+               double w_energy);
 
 }  // namespace hbosim::core

@@ -88,7 +88,8 @@ void MonitoredSession::activate() {
       controller_.apply_configuration(hit->z);
       app_.run_period(cfg_.hbo.monitor_period_s);  // settle
       const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
-      if (cost_of(m, cfg_.hbo.w) <= hit->cost + cfg_.warm_start_tolerance) {
+      if (cost_of(m, cfg_.hbo.w, cfg_.hbo.w_energy) <=
+          hit->cost + cfg_.warm_start_tolerance) {
         if (shared) lookup_.store(key, *hit);  // adopt the pooled solution
         record.warm_start = true;
         record.from_shared_store = shared;

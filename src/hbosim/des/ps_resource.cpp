@@ -132,6 +132,33 @@ bool PsResource::cancel(JobId id) {
   return true;
 }
 
+double PsResource::settled_work_done() const {
+  const double elapsed = sim_.now() - last_update_;
+  double extra = 0.0;
+  if (elapsed > 0.0 && current_rate_ > 0.0) {
+    const double progress = elapsed * current_rate_;
+    for (const auto& [id, job] : jobs_)
+      extra += std::min(progress, job.remaining);
+  }
+  return work_done_ + extra;
+}
+
+void PsResource::set_capacity(double capacity) {
+  HB_REQUIRE(capacity > 0.0, "PsResource capacity must be positive");
+  if (capacity == capacity_) return;
+  advance_progress();
+  capacity_ = capacity;
+  reschedule();
+}
+
+void PsResource::set_max_rate_per_job(double max_rate) {
+  HB_REQUIRE(max_rate > 0.0, "max_rate_per_job must be positive");
+  if (max_rate == max_rate_per_job_) return;
+  advance_progress();
+  max_rate_per_job_ = max_rate;
+  reschedule();
+}
+
 void PsResource::set_background_utilization(double u) {
   HB_REQUIRE(u >= 0.0 && u <= 1.0, "background utilization must be in [0,1]");
   const double clamped = std::min(u, max_background_);

@@ -38,6 +38,34 @@ class PsResource {
 
   const std::string& name() const { return name_; }
   double capacity() const { return capacity_; }
+  double max_rate_per_job() const { return max_rate_per_job_; }
+
+  /// Rescale total capacity mid-service (DVFS: the governor stepped this
+  /// unit's clock). Accrued progress is settled at the old rate first and
+  /// the pending completion event is re-derived from the new per-job rate,
+  /// so every in-flight job's remaining *virtual work* (seconds-at-rate-1)
+  /// is preserved exactly — only its wall-clock completion time moves.
+  /// A call with the current capacity is a strict no-op (no event churn),
+  /// which keeps never-throttled runs bit-identical to runs without a
+  /// governor attached.
+  void set_capacity(double capacity);
+
+  /// Rescale the per-job rate cap alongside capacity. Needed on multi-core
+  /// clusters: halving a 6-core cluster's clock must also halve what a
+  /// single-threaded job can extract, which `set_capacity` alone would not
+  /// model (the min() would still allow rate 1). Same settlement and
+  /// no-op semantics as set_capacity.
+  void set_max_rate_per_job(double max_rate);
+
+  /// work_done() projected to sim.now(): the settled counter plus the
+  /// progress in-flight jobs have accrued since the last internal update.
+  /// A pure read — it must NOT settle state, because splitting the
+  /// `elapsed * rate` products into different chunk boundaries changes
+  /// their last floating-point bits, and a 1e-16 s shift in one completion
+  /// time diverges a chaotic DES trajectory. The power model samples
+  /// per-tick utilization through this so that an attached-but-idle
+  /// governor leaves the simulation bitwise untouched.
+  double settled_work_done() const;
 
   /// Submit a job requiring `demand` seconds of rate-1 service while
   /// holding `cores` units of this resource (a multi-threaded CPU

@@ -59,6 +59,36 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
   out.quality = summarize_metric(quality);
   out.latency_ratio = summarize_metric(eps);
   out.reward = summarize_metric(reward);
+
+  // Power roll-up: a session that ran with a power model always draws at
+  // least the base system load, so energy > 0 identifies power-enabled
+  // fleets without an extra flag threading through the call chain.
+  bool any_power = false;
+  for (const SessionResult& s : sessions) any_power |= s.energy_j > 0.0;
+  if (any_power) {
+    out.power.enabled = true;
+    std::vector<double> watts, temps, drains;
+    watts.reserve(sessions.size());
+    temps.reserve(sessions.size());
+    drains.reserve(sessions.size());
+    std::size_t throttled_sessions = 0;
+    for (const SessionResult& s : sessions) {
+      watts.push_back(s.mean_power_w);
+      temps.push_back(s.max_die_temp_c);
+      drains.push_back(s.battery_drain_pct_per_hour);
+      out.power.total_energy_j += s.energy_j;
+      out.power.throttle_events += s.throttle_events;
+      out.power.min_freq_scale =
+          std::min(out.power.min_freq_scale, s.min_freq_scale);
+      if (s.throttle_events > 0) ++throttled_sessions;
+    }
+    out.power.mean_power_w = summarize_metric(watts);
+    out.power.max_die_temp_c = summarize_metric(temps);
+    out.power.drain_pct_per_hour = summarize_metric(drains);
+    out.power.throttled_session_fraction =
+        static_cast<double>(throttled_sessions) /
+        static_cast<double>(sessions.size());
+  }
   if (out.total_activations > 0) {
     out.warm_start_rate = static_cast<double>(out.total_warm_starts) /
                           static_cast<double>(out.total_activations);

@@ -44,6 +44,17 @@ struct SessionResult {
   std::uint64_t edge_decim_fallbacks = 0;   ///< Served a nearest-cached LOD.
   std::uint64_t edge_bo_fallbacks = 0;      ///< Store fetch fell back to local BO.
 
+  // Power/thermal roll-up (all neutral when the fleet runs without a
+  // power model; see FleetSpec::use_power_model).
+  double energy_j = 0.0;         ///< Battery draw over the session.
+  double mean_power_w = 0.0;     ///< energy_j / simulated seconds.
+  double max_die_temp_c = 0.0;   ///< Peak die temperature reached.
+  std::uint64_t throttle_events = 0;  ///< Governor down-steps.
+  double time_throttled_s = 0.0;      ///< Sim-time below nominal clocks.
+  double min_freq_scale = 1.0;        ///< Deepest DVFS point reached.
+  double battery_soc = 1.0;           ///< Charge remaining at session end.
+  double battery_drain_pct_per_hour = 0.0;  ///< Projected drain rate.
+
   double wall_seconds = 0.0;  ///< Host time spent simulating this session.
 };
 
@@ -95,6 +106,21 @@ struct FleetMetrics {
     double mean_wait_ms = 0.0;    ///< Mean admitted-request queue wait.
   };
   EdgeHealth edge;
+
+  /// Thermal/energy roll-up across sessions. All-neutral when the fleet
+  /// ran without a power model (enabled == false).
+  struct PowerHealth {
+    bool enabled = false;
+    double total_energy_j = 0.0;
+    MetricSummary mean_power_w;        ///< Over per-session mean watts.
+    MetricSummary max_die_temp_c;      ///< Over per-session peak temps.
+    MetricSummary drain_pct_per_hour;  ///< Over projected drain rates.
+    std::uint64_t throttle_events = 0; ///< Governor down-steps, summed.
+    double min_freq_scale = 1.0;       ///< Deepest OPP any session hit.
+    /// Fraction of sessions that throttled at least once.
+    double throttled_session_fraction = 0.0;
+  };
+  PowerHealth power;
 };
 
 /// Summarize one metric sample (throws on empty input, like percentile()).

@@ -61,6 +61,12 @@ void FleetSpec::validate() const {
   for (const DeviceMixEntry& d : devices)
     soc::find_builtin(d.device);  // throws for unknown names
   if (use_edge_service) edge.validate();
+  if (use_power_model) {
+    power.validate();
+    // Every device in the mix needs a power model; failing here turns a
+    // mid-fleet surprise into an upfront configuration error.
+    for (const DeviceMixEntry& d : devices) power::find_power_model(d.device);
+  }
 }
 
 FleetSimulator::FleetSimulator(FleetSpec spec) : spec_(std::move(spec)) {
@@ -110,8 +116,16 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
   telemetry::ScopeTimer session_span("fleet", span_label);
 
   const soc::DeviceProfile device = soc::find_builtin(spec.device);
+  app::MarAppConfig base;
+  if (spec_.use_power_model) {
+    base.enable_power = true;
+    base.power = spec_.power;
+    // Decorrelate the ambient-noise stream from the engine noise stream
+    // while keeping it a pure function of the session seed.
+    base.power.seed = spec.seed ^ 0xB0D1'E5C0'FFEE'5EEDull;
+  }
   std::unique_ptr<app::MarApp> app =
-      scenario::make_app(device, spec.objects, spec.tasks, spec.seed);
+      scenario::make_app(device, spec.objects, spec.tasks, spec.seed, base);
 
   core::MonitoredSessionConfig cfg = spec_.session;
   cfg.hbo.seed = spec.seed;
@@ -172,6 +186,17 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
     out.edge_decim_fallbacks = app->decimation().edge_fallbacks();
     out.edge_bo_fallbacks = session.edge_bo_fallbacks();
     broker_->absorb(*edge_client);
+  }
+  if (const power::PowerManager* pm = app->power()) {
+    const power::PowerStats ps = pm->stats();
+    out.energy_j = ps.energy_j;
+    out.mean_power_w = ps.mean_power_w;
+    out.max_die_temp_c = ps.max_die_temp_c;
+    out.throttle_events = ps.throttle_events;
+    out.time_throttled_s = ps.time_throttled_s;
+    out.min_freq_scale = ps.min_freq_scale;
+    out.battery_soc = ps.battery_soc;
+    out.battery_drain_pct_per_hour = ps.drain_pct_per_hour;
   }
   out.wall_seconds = seconds_since(t0);
   if (telemetry::enabled()) {

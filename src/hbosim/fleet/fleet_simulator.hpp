@@ -8,6 +8,7 @@
 #include "hbosim/core/monitored_session.hpp"
 #include "hbosim/fleet/fleet_metrics.hpp"
 #include "hbosim/fleet/shared_pool.hpp"
+#include "hbosim/power/power_manager.hpp"
 #include "hbosim/scenario/scenarios.hpp"
 
 /// \file fleet_simulator.hpp
@@ -68,6 +69,16 @@ struct FleetSpec {
   /// per-session results stay bit-identical across thread counts.
   bool use_edge_service = false;
   edgesvc::EdgeServiceSpec edge;
+
+  /// Attach the battery/thermal/DVFS model (hbosim::power) to every
+  /// session. Each session's PowerManager lives on that session's own
+  /// Simulator and derives its ambient-noise seed from the session seed,
+  /// so per-session results remain bit-identical across thread counts
+  /// even with the throttling governor active.
+  bool use_power_model = false;
+  /// Tick/ambient/governor knobs shared by all sessions (the per-session
+  /// seed field is overridden from the session seed).
+  power::PowerConfig power;
 
   /// Throws hbosim::Error on nonsense (no sessions, negative weights, ...).
   void validate() const;

@@ -1,0 +1,24 @@
+#include "hbosim/power/battery.hpp"
+
+#include <algorithm>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::power {
+
+Battery::Battery(const BatterySpec& spec, double initial_soc)
+    : spec_(spec), soc_(initial_soc) {
+  HB_REQUIRE(spec_.capacity_j > 0.0, "battery capacity must be positive");
+  HB_REQUIRE(initial_soc >= 0.0 && initial_soc <= 1.0,
+             "initial SoC must be in [0,1]");
+}
+
+void Battery::drain(double power_w, double dt_s) {
+  HB_REQUIRE(power_w >= 0.0 && dt_s >= 0.0,
+             "battery drain needs non-negative power and time");
+  const double joules = power_w * dt_s;
+  drawn_j_ += joules;
+  soc_ = std::max(0.0, soc_ - joules / spec_.capacity_j);
+}
+
+}  // namespace hbosim::power

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "hbosim/power/power_model.hpp"
+
+/// \file battery.hpp
+/// State-of-charge integrator. Coulomb counting in the energy domain: the
+/// battery is a fixed reservoir of joules and every tick withdraws
+/// power * dt. No rate-capacity (Peukert) or voltage-sag effects — session
+/// horizons are minutes, where a linear drain is an excellent fit.
+
+namespace hbosim::power {
+
+class Battery {
+ public:
+  explicit Battery(const BatterySpec& spec, double initial_soc = 1.0);
+
+  /// Withdraw `power_w * dt_s` joules; SoC clamps at 0 (the phone would
+  /// be dead, but the simulation keeps running so metrics stay complete).
+  void drain(double power_w, double dt_s);
+
+  /// Remaining charge in [0, 1].
+  double soc() const { return soc_; }
+  bool empty() const { return soc_ <= 0.0; }
+
+  /// Total energy withdrawn so far (joules), including the clamped tail.
+  double energy_drawn_j() const { return drawn_j_; }
+
+  const BatterySpec& spec() const { return spec_; }
+
+ private:
+  BatterySpec spec_;
+  double soc_;
+  double drawn_j_ = 0.0;
+};
+
+}  // namespace hbosim::power

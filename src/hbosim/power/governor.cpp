@@ -1,0 +1,32 @@
+#include "hbosim/power/governor.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::power {
+
+ThrottleGovernor::ThrottleGovernor(const GovernorSpec& spec) : spec_(spec) {
+  HB_REQUIRE(!spec_.opps.empty(), "governor needs at least one OPP");
+  HB_REQUIRE(spec_.release_temp_c < spec_.throttle_temp_c,
+             "governor release threshold must sit below the throttle one");
+}
+
+bool ThrottleGovernor::update(double die_temp_c, SimTime now) {
+  if (ever_changed_ && now - last_change_ < spec_.min_dwell_s) return false;
+
+  int next = index_;
+  if (die_temp_c > spec_.throttle_temp_c &&
+      index_ + 1 < static_cast<int>(spec_.opps.size())) {
+    next = index_ + 1;
+  } else if (die_temp_c < spec_.release_temp_c && index_ > 0) {
+    next = index_ - 1;
+  }
+  if (next == index_) return false;
+
+  if (next > index_) ++down_steps_;
+  index_ = next;
+  last_change_ = now;
+  ever_changed_ = true;
+  return true;
+}
+
+}  // namespace hbosim::power

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hbosim/common/types.hpp"
+#include "hbosim/power/power_model.hpp"
+
+/// \file governor.hpp
+/// Hysteresis throttling governor. Mirrors the step-wise thermal
+/// governors Android SoCs ship (thermal-engine / thermal HAL): when the
+/// die crosses the throttle threshold the governor steps one OPP down the
+/// ladder; when it cools below the (lower) release threshold it steps
+/// back up. A minimum dwell between steps debounces the sawtooth the RC
+/// dynamics would otherwise excite. The governor itself is pure decision
+/// logic — applying the chosen OPP to the SoC's PsResources is the
+/// PowerManager's job, which keeps this class trivially testable.
+
+namespace hbosim::power {
+
+class ThrottleGovernor {
+ public:
+  explicit ThrottleGovernor(const GovernorSpec& spec);
+
+  /// Consult the thresholds at simulated time `now`. Returns true when
+  /// the OPP index changed (the caller must re-apply frequencies).
+  bool update(double die_temp_c, SimTime now);
+
+  int opp_index() const { return index_; }
+  const OppPoint& opp() const { return spec_.opps[index_]; }
+  bool throttled() const { return index_ > 0; }
+
+  /// Downward steps taken so far (the "throttle events" metric).
+  std::uint64_t throttle_events() const { return down_steps_; }
+
+  const GovernorSpec& spec() const { return spec_; }
+
+ private:
+  GovernorSpec spec_;
+  int index_ = 0;
+  SimTime last_change_ = 0.0;
+  bool ever_changed_ = false;
+  std::uint64_t down_steps_ = 0;
+};
+
+}  // namespace hbosim::power

@@ -1,0 +1,125 @@
+#include "hbosim/power/power_model.hpp"
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::power {
+
+const UnitPowerModel& DevicePowerModel::unit(soc::Unit u) const {
+  switch (u) {
+    case soc::Unit::Cpu: return cpu;
+    case soc::Unit::Gpu: return gpu;
+    case soc::Unit::Npu: return npu;
+  }
+  HB_ASSERT(false, "unreachable unit");
+  return cpu;
+}
+
+void DevicePowerModel::validate() const {
+  HB_REQUIRE(!device.empty(), "power model needs a device name");
+  for (int i = 0; i < soc::kNumUnits; ++i) {
+    const UnitPowerModel& m = unit(static_cast<soc::Unit>(i));
+    HB_REQUIRE(m.static_w >= 0.0 && m.dynamic_w >= 0.0,
+               "unit power coefficients must be non-negative");
+    HB_REQUIRE(m.leak_per_c >= 0.0, "leakage slope must be non-negative");
+  }
+  HB_REQUIRE(thermal.r_c_per_w > 0.0 && thermal.c_j_per_c > 0.0,
+             "thermal RC must be positive");
+  HB_REQUIRE(!governor.opps.empty(), "governor needs at least one OPP");
+  HB_REQUIRE(governor.opps.front().freq_scale == 1.0,
+             "OPP 0 must be the nominal point (freq_scale 1)");
+  for (std::size_t i = 0; i < governor.opps.size(); ++i) {
+    const OppPoint& p = governor.opps[i];
+    HB_REQUIRE(p.freq_scale > 0.0 && p.voltage_scale > 0.0,
+               "OPP scales must be positive");
+    if (i > 0)
+      HB_REQUIRE(p.freq_scale < governor.opps[i - 1].freq_scale,
+                 "OPP frequencies must decrease down the ladder");
+  }
+  HB_REQUIRE(governor.release_temp_c < governor.throttle_temp_c,
+             "governor release threshold must sit below the throttle one");
+  HB_REQUIRE(governor.min_dwell_s >= 0.0, "governor dwell must be >= 0");
+  HB_REQUIRE(battery.capacity_j > 0.0, "battery capacity must be positive");
+  HB_REQUIRE(battery.base_system_w >= 0.0,
+             "base system power must be non-negative");
+}
+
+namespace {
+
+UnitPowerModel unit_w(double static_w, double dynamic_w,
+                      double leak_per_c = 0.005) {
+  UnitPowerModel m;
+  m.static_w = static_w;
+  m.dynamic_w = dynamic_w;
+  m.leak_per_c = leak_per_c;
+  return m;
+}
+
+/// Five-step ladder shared by the builtin devices; per-device thermal RC
+/// and thresholds differentiate how quickly each walks it. Voltage tracks
+/// frequency sublinearly (DVFS curves flatten near the bottom).
+std::vector<OppPoint> default_ladder() {
+  return {{1.00, 1.00}, {0.85, 0.92}, {0.70, 0.84},
+          {0.55, 0.76}, {0.40, 0.68}};
+}
+
+}  // namespace
+
+std::vector<DevicePowerModel> builtin_power_models() {
+  std::vector<DevicePowerModel> out;
+
+  {
+    // Galaxy S22: the hottest-running of the three — high sustained CPU/GPU
+    // draw into a compact chassis (low R would mean good cooling; the S22's
+    // vapor chamber is small, so R stays high and the governor acts early).
+    DevicePowerModel d;
+    d.device = "Galaxy S22";
+    d.cpu = unit_w(0.35, 5.0);
+    d.gpu = unit_w(0.30, 4.0);
+    d.npu = unit_w(0.10, 1.8);
+    d.thermal = {9.0, 11.0, 30.0};
+    d.governor = {63.0, 54.0, 2.0, default_ladder()};
+    d.battery = {3700.0 * 3.85 * 3.6, 1.3};  // 3700 mAh @ 3.85 V
+    out.push_back(std::move(d));
+  }
+  {
+    // Pixel 7 (Tensor G2): slightly lower peak draw, similar passive
+    // cooling; the TPU is efficient for what it does.
+    DevicePowerModel d;
+    d.device = "Pixel 7";
+    d.cpu = unit_w(0.30, 4.5);
+    d.gpu = unit_w(0.25, 3.5);
+    d.npu = unit_w(0.08, 1.5);
+    d.thermal = {10.0, 12.0, 30.0};
+    d.governor = {65.0, 55.0, 2.0, default_ladder()};
+    d.battery = {4355.0 * 3.85 * 3.6, 1.2};  // 4355 mAh @ 3.85 V
+    out.push_back(std::move(d));
+  }
+  {
+    // MidTier: lower absolute power but a cheap chassis (high R) and a
+    // conservative governor — it throttles at lower load than a flagship.
+    DevicePowerModel d;
+    d.device = "MidTier";
+    d.cpu = unit_w(0.25, 3.0);
+    d.gpu = unit_w(0.20, 2.2);
+    d.npu = unit_w(0.06, 1.0);
+    d.thermal = {13.0, 9.0, 30.0};
+    d.governor = {60.0, 52.0, 2.0, default_ladder()};
+    d.battery = {5000.0 * 3.85 * 3.6, 1.0};  // 5000 mAh @ 3.85 V
+    out.push_back(std::move(d));
+  }
+
+  return out;
+}
+
+DevicePowerModel find_power_model(const std::string& device) {
+  std::string known;
+  for (DevicePowerModel& d : builtin_power_models()) {
+    if (d.device == device) return std::move(d);
+    if (!known.empty()) known += ", ";
+    known += d.device;
+  }
+  throw Error("no power model for device '" + device + "' (have: " + known +
+              "); pass an explicit DevicePowerModel for custom devices");
+}
+
+}  // namespace hbosim::power

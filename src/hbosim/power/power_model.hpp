@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hbosim/soc/resource.hpp"
+
+/// \file power_model.hpp
+/// Static power/thermal/battery description of a device — the data half of
+/// hbosim::power. A DevicePowerModel is to the power subsystem what a
+/// soc::DeviceProfile is to the latency model: per-unit static and dynamic
+/// power coefficients, the DVFS operating-point (OPP) ladder the throttling
+/// governor walks, the lumped thermal RC of the die, and the battery.
+///
+/// Numbers are plausible flagship/mid-tier figures assembled from public
+/// SoC power analyses (big.LITTLE clusters draw 3-5 W sustained, mobile
+/// GPUs 2-4 W, NPUs 1-2 W; die-to-ambient resistance of a passively cooled
+/// phone is ~8-12 °C/W with a thermal time constant of one to two
+/// minutes). They are not measurements of the named phones; like Table I,
+/// they exist so the *coupling* is right: sustained AI+render load heats
+/// the die past the governor's threshold within tens of seconds and
+/// throttled clocks visibly inflate every latency profile.
+
+namespace hbosim::power {
+
+/// One DVFS operating performance point, relative to the nominal (index 0)
+/// point. Dynamic power scales as freq * voltage^2, so stepping down an
+/// OPP buys a superlinear power saving for a linear performance loss —
+/// the trade every mobile governor exploits.
+struct OppPoint {
+  double freq_scale = 1.0;
+  double voltage_scale = 1.0;
+};
+
+/// Power model of one compute unit (CPU cluster / GPU / NPU).
+struct UnitPowerModel {
+  /// Leakage at the nominal OPP and 25 °C, burned whenever the SoC is on.
+  double static_w = 0.1;
+  /// Dynamic power at 100% utilization on the nominal OPP.
+  double dynamic_w = 1.0;
+  /// Linear leakage growth per °C above 25 °C (silicon leakage roughly
+  /// doubles every 20-30 °C; a linear term is enough at phone temps).
+  double leak_per_c = 0.005;
+};
+
+/// Lumped RC thermal model of the die: C dT/dt = P - (T - T_amb) / R.
+struct ThermalSpec {
+  double r_c_per_w = 10.0;  ///< Die-to-ambient resistance (°C per watt).
+  double c_j_per_c = 10.0;  ///< Heat capacity (joules per °C).
+  double init_temp_c = 30.0;
+};
+
+/// Hysteresis throttling governor: step one OPP down when the die exceeds
+/// `throttle_temp_c`, step back up when it cools below `release_temp_c`,
+/// and never act twice within `min_dwell_s` (debounces the sawtooth).
+struct GovernorSpec {
+  double throttle_temp_c = 65.0;
+  double release_temp_c = 55.0;
+  double min_dwell_s = 2.0;
+  /// The OPP ladder, nominal first, monotonically decreasing frequency.
+  std::vector<OppPoint> opps;
+};
+
+struct BatterySpec {
+  double capacity_j = 60000.0;  ///< Full charge (1 Wh = 3600 J).
+  /// Everything that is not the SoC die: display, camera, sensors, radios.
+  /// Drawn from the battery continuously while a session runs.
+  double base_system_w = 1.2;
+};
+
+/// Full power description of one device, keyed by the same name as its
+/// soc::DeviceProfile.
+struct DevicePowerModel {
+  std::string device;
+  UnitPowerModel cpu;
+  UnitPowerModel gpu;
+  UnitPowerModel npu;
+  ThermalSpec thermal;
+  GovernorSpec governor;
+  BatterySpec battery;
+
+  const UnitPowerModel& unit(soc::Unit u) const;
+
+  /// Throws hbosim::Error on nonsense (empty OPP ladder, non-monotone
+  /// frequencies, inverted thresholds, non-positive RC, ...).
+  void validate() const;
+};
+
+/// Power models for every soc::builtin_devices() entry.
+std::vector<DevicePowerModel> builtin_power_models();
+
+/// Lookup by device name; throws hbosim::Error naming the known devices
+/// when `device` has no power model (mirrors soc::find_builtin).
+DevicePowerModel find_power_model(const std::string& device);
+
+}  // namespace hbosim::power

@@ -1,0 +1,23 @@
+#include "hbosim/power/thermal.hpp"
+
+#include <cmath>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::power {
+
+ThermalModel::ThermalModel(const ThermalSpec& spec)
+    : spec_(spec), temp_c_(spec.init_temp_c) {
+  HB_REQUIRE(spec_.r_c_per_w > 0.0 && spec_.c_j_per_c > 0.0,
+             "thermal RC must be positive");
+}
+
+void ThermalModel::step(double power_w, double ambient_c, double dt_s) {
+  HB_REQUIRE(dt_s >= 0.0, "thermal step must be non-negative");
+  if (dt_s == 0.0) return;
+  const double t_ss = steady_state_c(power_w, ambient_c);
+  const double decay = std::exp(-dt_s / time_constant_s());
+  temp_c_ = t_ss + (temp_c_ - t_ss) * decay;
+}
+
+}  // namespace hbosim::power

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "hbosim/power/power_model.hpp"
+
+/// \file thermal.hpp
+/// Lumped RC thermal model of one die. The continuous dynamics are
+///
+///   C dT/dt = P - (T - T_amb) / R
+///
+/// whose exact solution over a step of length dt with constant P and
+/// T_amb is an exponential relaxation toward the steady state
+/// T_ss = T_amb + P * R:
+///
+///   T(t + dt) = T_ss + (T(t) - T_ss) * exp(-dt / (R * C)).
+///
+/// The stepper uses this closed form rather than forward Euler, so it is
+/// unconditionally stable and the tick size only controls how often power
+/// is re-sampled, not the integration accuracy within a tick.
+
+namespace hbosim::power {
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(const ThermalSpec& spec);
+
+  /// Advance the die by `dt_s` under constant dissipation `power_w` and
+  /// ambient `ambient_c`.
+  void step(double power_w, double ambient_c, double dt_s);
+
+  double temp_c() const { return temp_c_; }
+  void reset(double temp_c) { temp_c_ = temp_c; }
+
+  /// Equilibrium temperature under sustained `power_w`.
+  double steady_state_c(double power_w, double ambient_c) const {
+    return ambient_c + power_w * spec_.r_c_per_w;
+  }
+
+  /// Thermal time constant R*C (seconds).
+  double time_constant_s() const {
+    return spec_.r_c_per_w * spec_.c_j_per_c;
+  }
+
+ private:
+  ThermalSpec spec_;
+  double temp_c_;
+};
+
+}  // namespace hbosim::power

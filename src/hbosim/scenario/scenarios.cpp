@@ -12,6 +12,7 @@ const char* object_set_name(ObjectSet s) {
     case ObjectSet::SC1: return "SC1";
     case ObjectSet::SC2: return "SC2";
     case ObjectSet::UserStudyMix: return "UserStudyMix";
+    case ObjectSet::ThermalSoak: return "ThermalSoak";
   }
   return "?";
 }
@@ -94,6 +95,20 @@ std::vector<ObjectPlacement> object_placements(ObjectSet set) {
       place("cabin", 1.8);
       place("andy", 1.1);
       place("hammer", 2.0);
+      break;
+    case ObjectSet::ThermalSoak:
+      // All heavy assets at close range: ~1M culled triangles sustained,
+      // which keeps the GPU render share pinned near max_gpu_load. With
+      // CF1 on top this is the load a thermal governor cannot ignore.
+      place("bike", 1.2);
+      place("plane", 1.4);
+      place("plane", 1.6);
+      place("plane", 1.8);
+      place("splane", 1.3);
+      place("statue", 1.1);
+      place("statue", 1.5);
+      place("apricot", 1.2);
+      place("Cocacola", 1.4);
       break;
   }
   return out;

@@ -18,7 +18,17 @@
 
 namespace hbosim::scenario {
 
-enum class ObjectSet { SC1, SC2, UserStudyMix };
+enum class ObjectSet {
+  SC1,
+  SC2,
+  UserStudyMix,
+  /// Sustained worst-case load for power/thermal studies: every heavy
+  /// Table II asset on screen at once, close enough that culling removes
+  /// almost nothing. Drives the GPU near its render ceiling so a
+  /// power-enabled session heats into its throttle band within a few
+  /// minutes of simulated time.
+  ThermalSoak,
+};
 enum class TaskSet { CF1, CF2 };
 
 const char* object_set_name(ObjectSet s);

@@ -181,6 +181,24 @@ TEST(BuiltinDevices, AllProvideTheFullRegistry) {
   }
 }
 
+TEST(FindBuiltin, ReturnsEveryRegisteredDeviceByName) {
+  for (const DeviceProfile& d : builtin_devices()) {
+    EXPECT_EQ(find_builtin(d.name()).name(), d.name());
+  }
+}
+
+TEST(FindBuiltin, UnknownNameThrowsAndNamesTheKnownDevices) {
+  try {
+    find_builtin("Nokia 3310");
+    FAIL() << "expected hbosim::Error";
+  } catch (const hbosim::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Nokia 3310"), std::string::npos);
+    EXPECT_NE(what.find("Pixel 7"), std::string::npos);
+    EXPECT_NE(what.find("Galaxy S22"), std::string::npos);
+  }
+}
+
 TEST(DeviceProfile, CommOverheadsPerDelegate) {
   const DeviceProfile p7 = pixel7();
   EXPECT_DOUBLE_EQ(p7.comm_ms(Delegate::Cpu), 0.0);

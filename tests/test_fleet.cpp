@@ -153,6 +153,45 @@ TEST(FleetSimulator, PerSessionResultsAreThreadCountInvariant) {
   EXPECT_GT(serial.metrics.reward.mean, serial.metrics.reward.min - 1.0);
 }
 
+// The power-model variant of the invariance guarantee: per-session
+// PowerManagers rescale PsResource capacities mid-run (the governor), and
+// that feedback must still be bit-identical across thread counts because
+// each session owns its power state and derives its ambient Rng from the
+// session seed.
+TEST(FleetSimulator, PowerModelKeepsThreadCountInvariance) {
+  auto power_fleet = [](std::size_t threads) {
+    fleet::FleetSpec spec = fast_fleet(24, threads);
+    spec.use_power_model = true;
+    spec.power.ambient_c = 28.0;
+    spec.power.initial_temp_c = 61.0;  // warm: MidTier/S22 throttle quickly
+    spec.scenarios = {
+        {scenario::ObjectSet::ThermalSoak, scenario::TaskSet::CF1, 1.0}};
+    return spec;
+  };
+  fleet::FleetResult serial = fleet::FleetSimulator(power_fleet(1)).run();
+  fleet::FleetResult threaded = fleet::FleetSimulator(power_fleet(4)).run();
+
+  ASSERT_EQ(serial.sessions.size(), threaded.sessions.size());
+  std::uint64_t total_throttle_events = 0;
+  for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+    const fleet::SessionResult& a = serial.sessions[i];
+    const fleet::SessionResult& b = threaded.sessions[i];
+    EXPECT_EQ(a.mean_quality, b.mean_quality) << "session " << i;
+    EXPECT_EQ(a.mean_reward, b.mean_reward) << "session " << i;
+    // The power trajectory itself is part of the invariant.
+    EXPECT_EQ(a.energy_j, b.energy_j) << "session " << i;
+    EXPECT_EQ(a.max_die_temp_c, b.max_die_temp_c) << "session " << i;
+    EXPECT_EQ(a.throttle_events, b.throttle_events) << "session " << i;
+    EXPECT_EQ(a.battery_soc, b.battery_soc) << "session " << i;
+    total_throttle_events += a.throttle_events;
+  }
+  // The test only means something if the governor actually acted.
+  EXPECT_GT(total_throttle_events, 0u);
+  EXPECT_TRUE(serial.metrics.power.enabled);
+  EXPECT_GT(serial.metrics.power.total_energy_j, 0.0);
+  EXPECT_GT(serial.metrics.power.throttled_session_fraction, 0.0);
+}
+
 // Enabling the shared pool lets later sessions warm-start from earlier
 // sessions' solutions: nonzero hit rate, nonzero shared warm starts.
 TEST(FleetSimulator, SharedPoolProducesCrossSessionWarmStarts) {

@@ -189,6 +189,98 @@ TEST(PsResource, ZeroDemandJobCompletesImmediatelyInSimTime) {
   EXPECT_NEAR(done_at, 0.0, 1e-9);
 }
 
+// --- capacity rescaling (DVFS throttling support) --------------------------
+
+TEST(PsResource, SetCapacityMidServiceStretchesRemainingWork) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  double done_at = -1.0;
+  gpu.submit(0.10, [&] { done_at = sim.now(); });
+  sim.run_until(0.05);  // half the work served at rate 1
+  gpu.set_capacity(0.5);
+  gpu.set_max_rate_per_job(0.5);
+  sim.run();
+  // 0.05 work left at rate 0.5 -> 0.1 more seconds.
+  EXPECT_NEAR(done_at, 0.15, 1e-9);
+}
+
+TEST(PsResource, SetCapacityConservesWorkAcrossTheStep) {
+  // Virtual work must be accounted at the pre-change rate up to the change
+  // and at the post-change rate after; total service still equals demand.
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  int completed = 0;
+  gpu.submit(0.06, [&] { ++completed; });
+  gpu.submit(0.10, [&] { ++completed; });
+  sim.run_until(0.04);
+  gpu.set_capacity(0.7);
+  sim.run_until(0.15);
+  gpu.set_capacity(1.3);
+  gpu.set_max_rate_per_job(1.3);
+  sim.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_NEAR(gpu.work_done(), 0.16, 1e-9);
+}
+
+TEST(PsResource, UnchangedCapacityIsAStrictNoOp) {
+  // The throttling governor calls set_capacity every re-application; an
+  // unchanged value must not settle progress or reschedule the completion
+  // event, or it would perturb completion times at the last bit and break
+  // the power subsystem's bitwise no-throttle parity guarantee.
+  Simulator a_sim, b_sim;
+  PsResource a(a_sim, "gpu", 1.0);
+  PsResource b(b_sim, "gpu", 1.0);
+  std::vector<double> a_done, b_done;
+  for (int i = 0; i < 3; ++i) {
+    a.submit(0.05 + 0.013 * i, [&] { a_done.push_back(a_sim.now()); });
+    b.submit(0.05 + 0.013 * i, [&] { b_done.push_back(b_sim.now()); });
+  }
+  a_sim.run_until(0.033);
+  b_sim.run_until(0.033);
+  b.set_capacity(1.0);          // same value: must change nothing
+  b.set_max_rate_per_job(1.0);  // likewise
+  a_sim.run();
+  b_sim.run();
+  ASSERT_EQ(a_done.size(), b_done.size());
+  for (std::size_t i = 0; i < a_done.size(); ++i)
+    EXPECT_EQ(a_done[i], b_done[i]);  // bitwise, not NEAR
+}
+
+TEST(PsResource, SettledWorkDoneIsAPureRead) {
+  // Projects partially-served jobs onto work_done() without mutating the
+  // resource: repeated reads agree, and interleaving reads with the run
+  // leaves completion times bitwise identical to an unobserved run.
+  Simulator a_sim, b_sim;
+  PsResource a(a_sim, "gpu", 1.0);
+  PsResource b(b_sim, "gpu", 1.0);
+  std::vector<double> a_done, b_done;
+  for (int i = 0; i < 3; ++i) {
+    a.submit(0.04 + 0.017 * i, [&] { a_done.push_back(a_sim.now()); });
+    b.submit(0.04 + 0.017 * i, [&] { b_done.push_back(b_sim.now()); });
+  }
+  a_sim.run();  // never observed
+  double last = 0.0;
+  for (double t = 0.01; t < 0.2; t += 0.01) {
+    b_sim.run_until(t);
+    const double w = b.settled_work_done();
+    EXPECT_DOUBLE_EQ(w, b.settled_work_done());  // read twice, same answer
+    EXPECT_GE(w, last);                          // monotone in time
+    last = w;
+  }
+  b_sim.run();
+  ASSERT_EQ(a_done.size(), b_done.size());
+  for (std::size_t i = 0; i < a_done.size(); ++i)
+    EXPECT_EQ(a_done[i], b_done[i]);  // observation did not shift anything
+  EXPECT_DOUBLE_EQ(b.settled_work_done(), b.work_done());  // all settled
+}
+
+TEST(PsResource, SetCapacityRejectsNonPositive) {
+  Simulator sim;
+  PsResource gpu(sim, "gpu", 1.0);
+  EXPECT_THROW(gpu.set_capacity(0.0), Error);
+  EXPECT_THROW(gpu.set_max_rate_per_job(-1.0), Error);
+}
+
 class PsConservationTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(PsConservationTest, TotalWorkIsConservedUnderChurn) {

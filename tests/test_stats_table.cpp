@@ -55,6 +55,30 @@ TEST(Ewma, FirstSampleInitializes) {
   EXPECT_DOUBLE_EQ(e.value(), 42.0);
 }
 
+TEST(Percentile, MatchesLinearInterpolationReference) {
+  // rank = p/100 * (n-1), interpolated between order statistics.
+  const std::vector<double> xs = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);   // exact middle statistic
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);   // rank 1.0, no fraction
+  EXPECT_DOUBLE_EQ(percentile(xs, 40.0), 29.0);   // rank 1.6: 20 + 0.6*15
+  EXPECT_DOUBLE_EQ(percentile(xs, 90.0), 46.0);   // rank 3.6: 40 + 0.6*10
+}
+
+TEST(Percentile, SortsItsOwnCopyAndHandlesSingletons) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50.0), 5.0);  // unsorted input
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 63.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, EmptySampleAndOutOfRangePThrow) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  EXPECT_THROW(percentile({1.0}, -0.1), Error);
+  EXPECT_THROW(percentile({1.0}, 100.1), Error);
+}
+
 TEST(Ewma, InvalidAlphaThrows) {
   EXPECT_THROW(Ewma{0.0}, Error);
   EXPECT_THROW(Ewma{1.5}, Error);
