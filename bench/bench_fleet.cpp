@@ -1,18 +1,27 @@
 // Fleet scaling bench: simulated-sessions/sec across worker-thread counts,
-// with and without the shared cross-session solution pool.
+// with and without the shared cross-session solution pool, plus the
+// learned policy layer (hbosim::policy) running in Prior mode.
 //
 // Not a paper artefact — this measures the hbosim::fleet engine itself:
 //   * scaling curve: a fixed fleet on {1, 4, hardware_concurrency} threads
 //     (deduplicated), reporting wall time, sessions/sec, and speedup vs 1;
 //   * warm-start ablation: the same fleet with the SharedSolutionPool on,
-//     reporting pool hit rate and the warm-start fraction of activations.
+//     reporting pool hit rate and the warm-start fraction of activations;
+//   * policy layer: the same fleet in PolicyMode::Prior, reporting how
+//     much of the full-activation traffic ran with a fitted prior.
 //
-// Usage: bench_fleet [sessions] [duration_s]   (defaults: 256, 20)
+// Usage: bench_fleet [--smoke] [--json <path>] [sessions] [duration_s]
+//   --smoke   smaller fleet (CI); defaults otherwise: 256 sessions, 20 s
+//   --json    write a machine-readable summary (default: BENCH_fleet.json)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -37,20 +46,43 @@ hbosim::fleet::FleetSpec base_spec(std::size_t sessions, double duration_s) {
   return spec;
 }
 
+struct ScalePoint {
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hbosim;
 
+  bool smoke = false;
+  std::string json_path = "BENCH_fleet.json";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else
+      positional.push_back(argv[i]);
+  }
   const std::size_t sessions =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 256;
-  const double duration_s = argc > 2 ? std::atof(argv[2]) : 20.0;
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoll(positional[0]))
+          : (smoke ? 64 : 256);
+  const double duration_s =
+      positional.size() > 1 ? std::atof(positional[1]) : (smoke ? 15.0 : 20.0);
 
   benchutil::banner("bench_fleet",
-                    "fleet engine scaling and shared-pool warm starts");
+                    "fleet engine scaling, shared-pool warm starts, and the "
+                    "policy layer");
   std::cout << "fleet: " << sessions << " sessions x " << duration_s
             << " simulated s, device mix {Pixel 7, Galaxy S22}, "
                "scenario mix SC1/SC2 x CF1/CF2\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
 
   // --- scaling curve -------------------------------------------------------
   benchutil::section("sessions/sec vs worker threads (pool off)");
@@ -62,6 +94,7 @@ int main(int argc, char** argv) {
       thread_counts.end());
 
   double serial_wall = 0.0;
+  std::vector<ScalePoint> scaling;
   std::cout << std::fixed;
   std::cout << "  threads    wall_s   sessions/s   speedup_vs_1\n";
   for (std::size_t threads : thread_counts) {
@@ -70,16 +103,21 @@ int main(int argc, char** argv) {
     const fleet::FleetResult result = fleet::FleetSimulator(spec).run();
     const fleet::FleetMetrics& m = result.metrics;
     if (threads == 1) serial_wall = m.wall_seconds;
+    ScalePoint p;
+    p.threads = threads;
+    p.wall_s = m.wall_seconds;
+    p.sessions_per_sec = m.sessions_per_sec;
+    p.speedup = m.wall_seconds > 0.0 ? serial_wall / m.wall_seconds : 0.0;
+    scaling.push_back(p);
     std::cout << "  " << std::setw(7) << threads << std::setprecision(2)
-              << std::setw(10) << m.wall_seconds << std::setprecision(1)
-              << std::setw(13) << m.sessions_per_sec << std::setprecision(2)
-              << std::setw(15)
-              << (m.wall_seconds > 0.0 ? serial_wall / m.wall_seconds : 0.0)
-              << "\n";
+              << std::setw(10) << p.wall_s << std::setprecision(1)
+              << std::setw(13) << p.sessions_per_sec << std::setprecision(2)
+              << std::setw(15) << p.speedup << "\n";
   }
 
   // --- shared-pool ablation ------------------------------------------------
   benchutil::section("shared solution pool (hardware threads)");
+  double pool_warm_rate = 0.0, pool_hit_rate = 0.0;
   for (bool pooled : {false, true}) {
     fleet::FleetSpec spec = base_spec(sessions, duration_s);
     spec.threads = ThreadPool::hardware_threads();
@@ -96,6 +134,8 @@ int main(int argc, char** argv) {
               << std::setprecision(3) << m.warm_start_rate
               << "  pool_hit_rate=" << m.pool.hit_rate() << "\n";
     if (pooled) {
+      pool_warm_rate = m.warm_start_rate;
+      pool_hit_rate = m.pool.hit_rate();
       std::cout << "  pool entries=" << m.pool.size << " stores="
                 << m.pool.stores << " evictions=" << m.pool.evictions
                 << "\n";
@@ -112,8 +152,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- policy layer (Prior mode) -------------------------------------------
+  benchutil::section("learned priors (PolicyMode::Prior, hardware threads)");
+  fleet::FleetSpec pspec = base_spec(sessions, duration_s);
+  pspec.threads = ThreadPool::hardware_threads();
+  pspec.policy.mode = fleet::PolicyMode::Prior;
+  pspec.policy.epoch_sessions = std::max<std::size_t>(sessions / 8, 1);
+  pspec.policy.prior.min_observations = 6;
+  const fleet::FleetResult presult = fleet::FleetSimulator(pspec).run();
+  const fleet::FleetMetrics& pm = presult.metrics;
+  std::cout << "  epochs=" << pm.policy.epochs << "  store_keys="
+            << pm.policy.store_keys << "  priors_fitted="
+            << pm.policy.priors_fitted << "  prior_activations="
+            << pm.policy.prior_activations << "  injection_rate="
+            << std::setprecision(3) << pm.policy.prior_injection_rate << "\n";
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
   std::cout << "\nDeterminism note: per-session results are bit-identical "
-               "across thread counts with the pool off; warm-start "
-               "placement with the pool on depends on completion order.\n";
-  return 0;
+               "across thread counts with the pool off (policy on or off); "
+               "warm-start placement with the pool on depends on completion "
+               "order.\n";
+
+  std::ofstream json(json_path);
+  json << std::setprecision(6) << std::fixed;
+  json << "{\n  \"bench\": \"bench_fleet\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"sessions\": " << sessions
+       << ",\n  \"duration_s\": " << duration_s << ",\n  \"wall_s\": "
+       << wall_s << ",\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalePoint& p = scaling[i];
+    json << "    {\"threads\": " << p.threads << ", \"wall_s\": " << p.wall_s
+         << ", \"sessions_per_sec\": " << p.sessions_per_sec
+         << ", \"speedup_vs_1\": " << p.speedup << "}"
+         << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"shared_pool\": {\"warm_start_rate\": " << pool_warm_rate
+       << ", \"hit_rate\": " << pool_hit_rate
+       << "},\n  \"policy_prior\": {\"epochs\": " << pm.policy.epochs
+       << ", \"store_keys\": " << pm.policy.store_keys
+       << ", \"priors_fitted\": " << pm.policy.priors_fitted
+       << ", \"prior_activations\": " << pm.policy.prior_activations
+       << ", \"injection_rate\": " << pm.policy.prior_injection_rate
+       << "}\n}\n";
+  std::cout << "JSON summary written to " << json_path << "\n";
+
+  // The structural story this bench gates on: parallelism must actually
+  // help, and the policy layer must fit and inject priors into the fleet.
+  // The scaling gate is timing-based, so it only applies to full runs on
+  // multi-core machines — smoke mode on a shared CI runner is too noisy
+  // for a hard wall-clock gate (the policy gate is deterministic and
+  // always applies).
+  const bool scales = smoke || ThreadPool::hardware_threads() <= 1 ||
+                      scaling.back().speedup > 1.2;
+  const bool policy_learns =
+      pm.policy.priors_fitted > 0 && pm.policy.prior_activations > 0;
+  return (scales && policy_learns) ? 0 : 1;
 }

@@ -25,6 +25,18 @@
 //                          workload to the scenario mix so some sessions
 //                          actually heat into their throttle band, and
 //                          print the thermal/energy roll-up.
+//
+//   --policy [prior|bandit|off]
+//                          enable the learned policy layer (hbosim::policy,
+//                          default off). `prior` fits warm-start GP priors
+//                          from fleet traffic at epoch barriers; `bandit`
+//                          replaces HBO with the LinUCB agent. Disables the
+//                          shared solution pool so the per-epoch convergence
+//                          printout isolates what the *policy* learned. The
+//                          demo prints a warm-vs-cold comparison: epoch 0
+//                          runs cold (nothing learned yet), later epochs
+//                          read the frozen artifact trained on everything
+//                          before them.
 
 #include <fstream>
 #include <iomanip>
@@ -44,6 +56,7 @@ int main(int argc, char** argv) {
   bool use_edge = false;
   bool use_power = false;
   std::string edge_preset = "wifi";
+  std::string policy_mode = "off";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -55,9 +68,19 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
     } else if (arg == "--power") {
       use_power = true;
+    } else if (arg == "--policy") {
+      policy_mode = "prior";
+      if (i + 1 < argc && argv[i + 1][0] != '-') policy_mode = argv[++i];
+      if (policy_mode != "prior" && policy_mode != "bandit" &&
+          policy_mode != "off") {
+        std::cerr << "unknown --policy mode '" << policy_mode
+                  << "' (expected prior|bandit|off)\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
-                   " [--edge [lan|wifi|congested]] [--power]\n";
+                   " [--edge [lan|wifi|congested]] [--power]"
+                   " [--policy [prior|bandit|off]]\n";
       return 2;
     }
   }
@@ -86,6 +109,15 @@ int main(int argc, char** argv) {
   if (use_edge) {
     spec.use_edge_service = true;
     spec.edge = edgesvc::edge_service_preset(edge_preset);
+  }
+  if (policy_mode != "off") {
+    spec.policy.mode = policy_mode == "prior" ? fleet::PolicyMode::Prior
+                                              : fleet::PolicyMode::Bandit;
+    // Four epochs of six: epoch 0 is the cold control group, epochs 1-3
+    // read artifacts trained on progressively more traffic.
+    spec.policy.epoch_sessions = 6;
+    // Isolate the policy layer's contribution: no raw-solution sharing.
+    spec.use_shared_pool = false;
   }
   if (use_power) {
     spec.use_power_model = true;
@@ -167,6 +199,52 @@ int main(int argc, char** argv) {
               << "% of sessions, deepest OPP " << std::setprecision(2)
               << m.power.min_freq_scale << "x\n"
               << std::setprecision(3);
+  }
+
+  if (m.policy.enabled) {
+    std::cout << "  policy (" << m.policy.mode << "): " << m.policy.epochs
+              << " epochs of " << spec.policy.epoch_sessions << " sessions";
+    if (spec.policy.mode == fleet::PolicyMode::Prior) {
+      std::cout << ", " << m.policy.priors_fitted << " priors fitted over "
+                << m.policy.store_keys << " env keys, injection rate "
+                << m.policy.prior_injection_rate << "\n";
+    } else {
+      std::cout << ", " << m.policy.bandit_updates
+                << " LinUCB updates from " << m.policy.bandit_pulls
+                << " pulls\n";
+    }
+
+    // Warm-vs-cold convergence: epoch 0 ran before anything was learned;
+    // every later epoch reads an artifact trained on all prior epochs.
+    std::cout << "  epoch  sessions  "
+              << (spec.policy.mode == fleet::PolicyMode::Prior
+                      ? "prior_activations"
+                      : "arm_pulls        ")
+              << "  mean_B\n";
+    const std::size_t epochs = m.policy.epochs > 0 ? m.policy.epochs : 1;
+    double cold_reward = 0.0, warm_reward = 0.0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+      std::size_t count = 0, learned = 0;
+      double reward = 0.0;
+      for (const fleet::SessionResult& s : result.sessions) {
+        if (s.session_id / spec.policy.epoch_sessions != e) continue;
+        ++count;
+        learned += spec.policy.mode == fleet::PolicyMode::Prior
+                       ? s.prior_activations
+                       : s.bandit_pulls;
+        reward += s.mean_reward;
+      }
+      if (count == 0) continue;
+      reward /= static_cast<double>(count);
+      if (e == 0) cold_reward = reward;
+      if (e + 1 == epochs) warm_reward = reward;
+      std::cout << "  " << std::setw(5) << e << "  " << std::setw(8) << count
+                << "  " << std::setw(17) << learned << "  " << std::setw(6)
+                << reward << "\n";
+    }
+    std::cout << "  cold (epoch 0) mean_B=" << cold_reward
+              << "  warm (epoch " << epochs - 1 << ") mean_B=" << warm_reward
+              << "  delta=" << warm_reward - cold_reward << "\n";
   }
 
   if (telem) {

@@ -1,0 +1,45 @@
+#include "hbosim/baselines/linucb.hpp"
+
+#include "hbosim/common/error.hpp"
+#include "hbosim/core/controller.hpp"
+
+namespace hbosim::baselines {
+
+BaselineOutcome run_linucb(app::MarApp& app, double horizon_s,
+                           double settle_s,
+                           policy::BanditConfig bandit_cfg) {
+  HB_REQUIRE(horizon_s > 0.0, "need a positive training horizon");
+  policy::BanditSessionConfig cfg;
+  policy::BanditSession session(app, cfg, bandit_cfg);
+  session.run_until(app.sim().now() + horizon_s);
+  HB_REQUIRE(!session.experiences().empty(),
+             "horizon too short: the bandit never pulled an arm");
+
+  BaselineOutcome out;
+  out.name = "LinUCB";
+  // Exploit for the final measurement: apply the arm with the highest
+  // learned mean reward for the current context (the last pull may have
+  // been an exploration draw), then measure settled like the other
+  // baselines measure their steady configuration.
+  const std::vector<double> context = policy::extract_context(app);
+  const policy::LinUcbBandit& model = *session.model();
+  std::size_t greedy = 0;
+  double greedy_reward = model.predicted_reward(0, context);
+  for (std::size_t a = 1; a < model.arm_count(); ++a) {
+    const double r = model.predicted_reward(a, context);
+    if (r > greedy_reward) {
+      greedy_reward = r;
+      greedy = a;
+    }
+  }
+  core::HboController controller(app, cfg.hbo);
+  const core::IterationRecord rec =
+      controller.apply_configuration(model.arms()[greedy]);
+  out.allocation = rec.allocation;
+  out.triangle_ratio = rec.triangle_ratio;
+  out.object_ratios = rec.object_ratios;
+  out.metrics = app.run_period(settle_s);
+  return out;
+}
+
+}  // namespace hbosim::baselines

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "hbosim/baselines/baseline.hpp"
+#include "hbosim/policy/bandit.hpp"
+#include "hbosim/policy/bandit_session.hpp"
+
+/// \file linucb.hpp
+/// LinUCB agent baseline: drive the app with an online contextual bandit
+/// (policy::BanditSession) for a training horizon, then measure at the
+/// configuration of its final arm pull. Registered next to the Section
+/// V-A baselines so the figure benches can race a model-free agent
+/// against HBO — the comparison motivating the policy layer (and the
+/// agent-driven direction of arXiv:2508.08627).
+
+namespace hbosim::baselines {
+
+/// Runs an own-learner BanditSession until the app clock reaches
+/// `horizon_s`, re-applies the last pulled arm, and measures `settle_s`.
+/// The app should have its objects and tasks placed, like the other
+/// baselines. Throws if the horizon produced no pull (no activation
+/// fired — horizon too short).
+BaselineOutcome run_linucb(app::MarApp& app, double horizon_s = 240.0,
+                           double settle_s = 4.0,
+                           policy::BanditConfig bandit_cfg = {});
+
+}  // namespace hbosim::baselines

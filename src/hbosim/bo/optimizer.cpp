@@ -47,16 +47,58 @@ void BayesianOptimizer::set_kernel(std::unique_ptr<Kernel> kernel) {
   grid_gps_.clear();
 }
 
+std::vector<double> BayesianOptimizer::length_scale_grid() const {
+  std::vector<double> grid = cfg_.length_scale_grid;
+  if (grid.empty() || kernel_override_) grid = {1.0};
+  if (cfg_.prior && !kernel_override_) {
+    // The prior's data-driven hint competes in the marginal-likelihood
+    // refit like any other grid entry; appending (rather than replacing)
+    // keeps the refit free to reject a bad estimate.
+    const double factor = cfg_.prior->length_scale_factor();
+    if (factor > 0.0 &&
+        std::find(grid.begin(), grid.end(), factor) == grid.end()) {
+      grid.push_back(factor);
+    }
+  }
+  return grid;
+}
+
 std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
   HB_TRACE_SCOPE("bo", "bo.suggest");
   HB_TELEM_COUNT("bo.suggests", 1.0);
-  if (in_initialization()) return space_.sample(rng);
+  if (in_initialization()) {
+    if (cfg_.prior) {
+      if (!prior_seeds_ready_) {
+        prior_seeds_ready_ = true;
+        for (const std::vector<double>& s : cfg_.prior->seed_points(
+                 static_cast<std::size_t>(cfg_.n_initial))) {
+          if (s.size() == space_.dim()) prior_seeds_.push_back(space_.clip(s));
+          if (prior_seeds_.size() >=
+              static_cast<std::size_t>(cfg_.n_initial)) {
+            break;
+          }
+        }
+      }
+      // Seeds stand in for the first initialization draws; any remaining
+      // draws stay random so initialization keeps some exploration.
+      if (data_.size() < prior_seeds_.size()) {
+        HB_TELEM_COUNT("bo.prior_seed_suggests", 1.0);
+        return prior_seeds_[data_.size()];
+      }
+    }
+    return space_.sample(rng);
+  }
 
   // Standardize the observed costs so the surrogate's fixed prior variance
-  // stays commensurate with the data.
+  // stays commensurate with the data. With a learned prior the GP models
+  // the residual cost - m0(z): subtract the cached prior means first, so
+  // the surrogate only has to explain what past traffic did not predict.
   std::vector<double> y;
   y.reserve(data_.size());
   for (const auto& obs : data_) y.push_back(obs.cost);
+  if (cfg_.prior) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] -= prior_mean_obs_[i];
+  }
   double scale = 1.0;
   if (cfg_.standardize) {
     const double sd = stdev(y);
@@ -65,8 +107,8 @@ std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
     for (auto& v : y) v = (v - m) / scale;
   }
 
-  return cfg_.incremental_gp ? suggest_incremental(rng, y)
-                             : suggest_full_refit(rng, y);
+  return cfg_.incremental_gp ? suggest_incremental(rng, y, scale)
+                             : suggest_full_refit(rng, y, scale);
 }
 
 /// The original suggestion path: refit every length-scale candidate from
@@ -74,15 +116,14 @@ std::vector<double> BayesianOptimizer::suggest(Rng& rng) {
 /// verbatim as the reference the incremental path is validated (and
 /// benchmarked) against.
 std::vector<double> BayesianOptimizer::suggest_full_refit(
-    Rng& rng, const std::vector<double>& y) {
+    Rng& rng, const std::vector<double>& y, double scale) {
   std::vector<std::vector<double>> x;
   x.reserve(data_.size());
   for (const auto& obs : data_) x.push_back(obs.z);
 
   // Hyperparameter refit (see BoConfig::length_scale_grid): keep the
   // length scale that explains the standardized costs best.
-  std::vector<double> grid = cfg_.length_scale_grid;
-  if (grid.empty() || kernel_override_) grid = {1.0};
+  const std::vector<double> grid = length_scale_grid();
   std::unique_ptr<GaussianProcess> best_gp;
   {
     HB_TRACE_SCOPE("bo", "bo.fit");
@@ -100,16 +141,30 @@ std::vector<double> BayesianOptimizer::suggest_full_refit(
   }
   GaussianProcess& gp = *best_gp;
 
-  const double best_y = *std::min_element(y.begin(), y.end());
+  // With a prior the GP's posterior is over standardized *residuals*; add
+  // each point's (standardized) prior mean back so acquisition compares
+  // total predicted costs, observed incumbent included. Constant offsets
+  // cancel inside EI, so only the z-dependent part matters.
+  const bool has_prior = cfg_.prior != nullptr;
+  double best_y;
+  if (has_prior) {
+    best_y = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < y.size(); ++i)
+      best_y = std::min(best_y, y[i] + prior_mean_obs_[i] / scale);
+  } else {
+    best_y = *std::min_element(y.begin(), y.end());
+  }
   const std::vector<double>& incumbent = best().z;
 
   std::vector<double> best_candidate;
   double best_score = -std::numeric_limits<double>::infinity();
   auto consider = [&](std::vector<double> z) {
     const auto pred = gp.predict(z);
+    const double mu =
+        has_prior ? pred.mean + cfg_.prior->mean(z) / scale : pred.mean;
     const double score =
-        acquisition_score(cfg_.acquisition, pred.mean,
-                          std::sqrt(pred.variance), best_y, cfg_.acq_params);
+        acquisition_score(cfg_.acquisition, mu, std::sqrt(pred.variance),
+                          best_y, cfg_.acq_params);
     if (score > best_score) {
       best_score = score;
       best_candidate = std::move(z);
@@ -134,8 +189,7 @@ std::vector<double> BayesianOptimizer::suggest_full_refit(
 }
 
 void BayesianOptimizer::sync_grid_gps(const std::vector<double>& y) {
-  std::vector<double> grid = cfg_.length_scale_grid;
-  if (grid.empty() || kernel_override_) grid = {1.0};
+  const std::vector<double> grid = length_scale_grid();
 
   // tell() keeps live surrogates in lockstep with data_; a mismatch means
   // they were invalidated (set_kernel, or created before this config path
@@ -165,7 +219,7 @@ void BayesianOptimizer::sync_grid_gps(const std::vector<double>& y) {
 }
 
 std::vector<double> BayesianOptimizer::suggest_incremental(
-    Rng& rng, const std::vector<double>& y) {
+    Rng& rng, const std::vector<double>& y, double scale) {
   GaussianProcess* gp = nullptr;
   {
     HB_TRACE_SCOPE("bo", "bo.fit");
@@ -185,7 +239,17 @@ std::vector<double> BayesianOptimizer::suggest_incremental(
   }
   HB_ASSERT(gp != nullptr, "no grid surrogate available");
 
-  const double best_y = *std::min_element(y.begin(), y.end());
+  // Same prior-mean adjustment as the full-refit path (see the comment
+  // there): acquisition compares total predicted costs.
+  const bool has_prior = cfg_.prior != nullptr;
+  double best_y;
+  if (has_prior) {
+    best_y = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < y.size(); ++i)
+      best_y = std::min(best_y, y[i] + prior_mean_obs_[i] / scale);
+  } else {
+    best_y = *std::min_element(y.begin(), y.end());
+  }
   const std::vector<double>& incumbent = best().z;
 
   // Generate the candidate set with the exact RNG call sequence of the
@@ -218,9 +282,13 @@ std::vector<double> BayesianOptimizer::suggest_incremental(
     // full-refit path's incremental `consider` rule.
     double best_score = -std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < total; ++c) {
+      double mu = preds_[c].mean;
+      if (has_prior) {
+        mu += cfg_.prior->mean({cand_flat_.data() + c * dim, dim}) / scale;
+      }
       const double score = acquisition_score(
-          cfg_.acquisition, preds_[c].mean, std::sqrt(preds_[c].variance),
-          best_y, cfg_.acq_params);
+          cfg_.acquisition, mu, std::sqrt(preds_[c].variance), best_y,
+          cfg_.acq_params);
       if (score > best_score) {
         best_score = score;
         best_idx = c;
@@ -237,6 +305,7 @@ void BayesianOptimizer::tell(std::vector<double> z, double cost) {
   HB_REQUIRE(space_.contains(z, 1e-6),
              "tell(): configuration violates Constraints 8-10");
   HB_REQUIRE(std::isfinite(cost), "tell(): cost must be finite");
+  if (cfg_.prior) prior_mean_obs_.push_back(cfg_.prior->mean(z));
 
   const std::size_t n = data_.size();
   if (cfg_.incremental_gp) {

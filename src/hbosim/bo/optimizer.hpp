@@ -1,10 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "hbosim/bo/acquisition.hpp"
 #include "hbosim/bo/gp.hpp"
+#include "hbosim/bo/prior.hpp"
 #include "hbosim/bo/space.hpp"
 
 /// \file optimizer.hpp
@@ -77,6 +79,14 @@ struct BoConfig {
   /// full-refit-per-suggest behaviour, kept as the reference baseline
   /// for the equivalence tests and bench_bo.
   bool incremental_gp = true;
+
+  /// Learned warm-start prior (see bo/prior.hpp). When set, the GP models
+  /// the residual cost - prior->mean(z), acquisition scores add the prior
+  /// mean back per candidate, the prior's seed configurations replace the
+  /// first initialization draws, and its length-scale hint joins the
+  /// refit grid. Null (the default) leaves every code path bitwise
+  /// identical to a prior-free optimizer.
+  std::shared_ptr<const SurrogatePrior> prior;
 };
 
 class BayesianOptimizer {
@@ -114,10 +124,16 @@ class BayesianOptimizer {
 
  private:
   std::unique_ptr<Kernel> make_kernel(double length_scale) const;
+  std::vector<double> length_scale_grid() const;
+  /// `scale` is the standardization divisor applied to the (residual)
+  /// targets: candidate prior means are divided by it so acquisition
+  /// compares posterior and incumbent in the same standardized units.
   std::vector<double> suggest_full_refit(Rng& rng,
-                                         const std::vector<double>& y);
+                                         const std::vector<double>& y,
+                                         double scale);
   std::vector<double> suggest_incremental(Rng& rng,
-                                          const std::vector<double>& y);
+                                          const std::vector<double>& y,
+                                          double scale);
   /// Bring the per-grid-entry GPs in sync with data_ and the targets y:
   /// (re)build from the distance cache when missing or invalidated,
   /// otherwise just re-solve the targets against the live factors.
@@ -127,6 +143,11 @@ class BayesianOptimizer {
   BoConfig cfg_;
   std::vector<Observation> data_;
   std::unique_ptr<Kernel> kernel_override_;
+
+  // --- learned-prior state (cfg_.prior; empty/unused without one) ---
+  std::vector<double> prior_mean_obs_;  ///< prior->mean(z_i) per observation
+  std::vector<std::vector<double>> prior_seeds_;  ///< clipped seed points
+  bool prior_seeds_ready_ = false;
 
   // --- incremental surrogate state (cfg_.incremental_gp) ---
   std::size_t best_idx_ = 0;  ///< incumbent index into data_

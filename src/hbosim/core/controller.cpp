@@ -82,6 +82,7 @@ ActivationResult HboController::run_activation() {
 
   bo::BoConfig bo_cfg = cfg_.bo;
   bo_cfg.n_initial = cfg_.n_initial;
+  bo_cfg.prior = prior_;  // null unless a policy layer injected one
   optimizer_ = std::make_unique<bo::BayesianOptimizer>(
       bo::SimplexBoxSpace(soc::kNumDelegates, cfg_.r_min, 1.0), bo_cfg);
 

@@ -77,12 +77,24 @@ class HboController {
   /// what was applied. Reused by the activation loop and by baselines.
   IterationRecord apply_configuration(std::span<const double> z);
 
+  /// Learned warm-start prior injected into the next run_activation()'s
+  /// Bayesian optimizer (see bo/prior.hpp). Sticky until replaced; pass
+  /// nullptr to restore the flat-prior behaviour. Null keeps every
+  /// activation bitwise identical to a prior-free controller.
+  void set_surrogate_prior(std::shared_ptr<const bo::SurrogatePrior> prior) {
+    prior_ = std::move(prior);
+  }
+  const std::shared_ptr<const bo::SurrogatePrior>& surrogate_prior() const {
+    return prior_;
+  }
+
  private:
   app::MarApp& app_;
   HboConfig cfg_;
   Rng rng_;
   std::unique_ptr<bo::BayesianOptimizer> optimizer_;
   std::unique_ptr<HeuristicAllocator> allocator_;
+  std::shared_ptr<const bo::SurrogatePrior> prior_;
 
   void ensure_allocator();
 };

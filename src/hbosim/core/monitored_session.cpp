@@ -53,10 +53,14 @@ void MonitoredSession::activate() {
   HB_TELEM_COUNT("hbo.activations", 1.0);
   SessionActivation record;
   record.at = app_.sim().now();
+  // Quantized environment at trigger time: the lookup fetch key, the prior
+  // hook's argument, and the key a policy layer files this activation's
+  // observations under. A pure read of the app's current scene/taskset.
+  const EnvironmentKey key = SolutionLookupTable::make_key(app_);
+  record.env = key;
 
   bool rejected_warm_start = false;
   if (cfg_.use_lookup_table) {
-    const EnvironmentKey key = SolutionLookupTable::make_key(app_);
     auto hit = lookup_.find(key);
     bool shared = false;
     if (!hit && store_.fetch) {
@@ -108,6 +112,15 @@ void MonitoredSession::activate() {
     }
   }
 
+  if (policy_hooks_.prior) {
+    // Full activation ahead: ask the policy layer for a learned prior
+    // fitted to this environment. A null return runs the activation flat.
+    std::shared_ptr<const bo::SurrogatePrior> prior =
+        policy_hooks_.prior(key);
+    record.prior_injected = prior != nullptr;
+    if (record.prior_injected) HB_TELEM_COUNT("policy.prior_injected", 1.0);
+    controller_.set_surrogate_prior(std::move(prior));
+  }
   record.result = controller_.run_activation();
   if (cfg_.use_lookup_table) {
     // Remember the *validated* cost where available: the raw minimum of
@@ -116,17 +129,19 @@ void MonitoredSession::activate() {
     const double remembered = std::isfinite(record.result.validated_cost)
                                   ? record.result.validated_cost
                                   : record.result.best().cost;
-    const EnvironmentKey key = SolutionLookupTable::make_key(app_);
+    // Re-key: the environment may have drifted over the activation's
+    // control periods, and the solution belongs to where it was measured.
+    const EnvironmentKey publish_key = SolutionLookupTable::make_key(app_);
     StoredSolution solution{record.result.best().z, remembered};
     if (rejected_warm_start) {
       // The remembered cost just proved unachievable here; keeping it
       // (store's lower-cost-wins policy) would poison every future warm
       // start of this environment. Overwrite with the measured reality.
-      lookup_.replace(key, solution);
+      lookup_.replace(publish_key, solution);
     } else {
-      lookup_.store(key, solution);
+      lookup_.store(publish_key, solution);
     }
-    if (store_.publish) store_.publish(key, solution);
+    if (store_.publish) store_.publish(publish_key, solution);
   }
   record.reference_reward = settle_and_reference();
   if (telemetry::enabled())

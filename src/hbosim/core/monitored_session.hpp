@@ -45,6 +45,10 @@ struct SessionActivation {
   SimTime at = 0.0;
   bool warm_start = false;        ///< Served from a remembered solution?
   bool from_shared_store = false; ///< Warm start came from the external store?
+  bool prior_injected = false;    ///< Ran with a learned surrogate prior?
+  /// Quantized environment at the moment the activation fired (the key a
+  /// policy layer files this activation's observations under).
+  EnvironmentKey env;
   double reference_reward = 0.0;
   ActivationResult result;   ///< Empty history for warm starts.
 };
@@ -58,6 +62,20 @@ struct SessionActivation {
 struct SolutionStoreHooks {
   std::function<std::optional<StoredSolution>(const EnvironmentKey&)> fetch;
   std::function<void(const EnvironmentKey&, const StoredSolution&)> publish;
+};
+
+/// Hooks into an external learned-policy layer (see hbosim::policy),
+/// sitting next to SolutionStoreHooks: where the store moves *solutions*
+/// across sessions, the policy hooks move *models*. `prior` is consulted
+/// at the start of every full (non-warm-start) activation with the
+/// quantized environment; the prior it returns (may be null) is injected
+/// into that activation's Bayesian optimizer. Invoked on whatever thread
+/// runs the session, so anything behind the hook must be safe for
+/// concurrent reads (fleet epochs hand out frozen snapshots).
+struct PolicyHooks {
+  std::function<std::shared_ptr<const bo::SurrogatePrior>(
+      const EnvironmentKey&)>
+      prior;
 };
 
 class MonitoredSession {
@@ -92,6 +110,11 @@ class MonitoredSession {
     store_ = std::move(hooks);
   }
 
+  /// Attach learned-policy hooks (prior injection). Unlike the solution
+  /// store these are independent of `use_lookup_table`: a prior helps any
+  /// full activation, remembered-solution fast path or not.
+  void set_policy_hooks(PolicyHooks hooks) { policy_hooks_ = std::move(hooks); }
+
   /// Model the shared-store fetch as a remote exchange with the edge box
   /// (Section VI: the pool lives server-side). While attached, a local
   /// lookup miss costs one RemoteBo round trip before the store is
@@ -122,6 +145,7 @@ class MonitoredSession {
   EventActivationPolicy policy_;
   SolutionLookupTable lookup_;
   SolutionStoreHooks store_;
+  PolicyHooks policy_hooks_;
   edgesvc::EdgeClient* edge_ = nullptr;
   edge::RemoteOptimizerLink remote_link_{};
   std::uint64_t edge_bo_fallbacks_ = 0;

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "hbosim/common/error.hpp"
 #include "hbosim/common/stats.hpp"
 
 namespace hbosim::fleet {
 
 MetricSummary summarize_metric(const std::vector<double>& values) {
+  // Guard before touching min_element: dereferencing end() on an empty
+  // sample is UB, not the documented throw. percentile() would also
+  // reject it, but only after the damage.
+  HB_REQUIRE(!values.empty(), "cannot summarize an empty metric sample");
   MetricSummary out;
   out.min = *std::min_element(values.begin(), values.end());
   out.max = *std::max_element(values.begin(), values.end());
@@ -48,6 +53,8 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
     out.total_activations += s.activations;
     out.total_warm_starts += s.warm_starts;
     out.total_shared_warm_starts += s.shared_warm_starts;
+    out.policy.prior_activations += s.prior_activations;
+    out.policy.bandit_pulls += s.bandit_pulls;
     out.edge.requests += s.edge_requests;
     out.edge.retries += s.edge_retries;
     out.edge.rejected_attempts += s.edge_rejected_attempts;
@@ -92,6 +99,13 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
   if (out.total_activations > 0) {
     out.warm_start_rate = static_cast<double>(out.total_warm_starts) /
                           static_cast<double>(out.total_activations);
+  }
+  const std::size_t full_activations =
+      out.total_activations - out.total_warm_starts;
+  if (full_activations > 0) {
+    out.policy.prior_injection_rate =
+        static_cast<double>(out.policy.prior_activations) /
+        static_cast<double>(full_activations);
   }
   if (wall_seconds > 0.0) {
     out.sessions_per_sec =

@@ -34,6 +34,12 @@ struct SessionResult {
   std::size_t activations = 0;        ///< All activations (incl. warm).
   std::size_t warm_starts = 0;        ///< Served from any remembered entry.
   std::size_t shared_warm_starts = 0; ///< Served from the fleet pool.
+  /// Full activations that ran with a learned surrogate prior injected
+  /// (policy mode Prior; see hbosim::policy).
+  std::size_t prior_activations = 0;
+  /// LinUCB arm pulls (policy mode Bandit; sessions then run the bandit
+  /// loop instead of HBO, so `activations` counts pulls too).
+  std::size_t bandit_pulls = 0;
 
   // Edge-service interaction (all zero when the fleet runs without one).
   std::uint64_t edge_requests = 0;          ///< Requests issued to the edge.
@@ -121,6 +127,23 @@ struct FleetMetrics {
     double throttled_session_fraction = 0.0;
   };
   PowerHealth power;
+
+  /// Learned-policy roll-up (see hbosim::policy and FleetSpec::policy).
+  /// All-neutral when the fleet ran with the policy layer off.
+  struct PolicyHealth {
+    bool enabled = false;
+    std::string mode;  ///< "prior" or "bandit".
+    std::size_t epochs = 0;             ///< Learning epochs (barriers) run.
+    std::size_t prior_activations = 0;  ///< Activations with a prior injected.
+    std::size_t bandit_pulls = 0;       ///< LinUCB arm pulls across sessions.
+    /// Fraction of full (non-warm-start) activations that got a prior.
+    double prior_injection_rate = 0.0;
+    std::size_t store_keys = 0;          ///< PriorStore exact keys.
+    std::size_t store_observations = 0;  ///< Observations retained.
+    std::uint64_t priors_fitted = 0;     ///< Fits across all snapshots.
+    std::uint64_t bandit_updates = 0;    ///< Learner rank-one updates.
+  };
+  PolicyHealth policy;
 };
 
 /// Summarize one metric sample (throws on empty input, like percentile()).

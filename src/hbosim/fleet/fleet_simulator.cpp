@@ -1,5 +1,6 @@
 #include "hbosim/fleet/fleet_simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <utility>
@@ -61,6 +62,18 @@ void FleetSpec::validate() const {
   for (const DeviceMixEntry& d : devices)
     soc::find_builtin(d.device);  // throws for unknown names
   if (use_edge_service) edge.validate();
+  if (policy.mode != PolicyMode::Off) {
+    HB_REQUIRE(policy.epoch_sessions >= 1,
+               "policy epochs need at least one session");
+    if (policy.mode == PolicyMode::Prior) policy.prior.validate();
+    if (policy.mode == PolicyMode::Bandit) {
+      policy.bandit.validate();
+      // Bandit sessions have no lookup table to warm start from; a pool
+      // would silently do nothing, so reject the combination up front.
+      HB_REQUIRE(!use_shared_pool,
+                 "bandit-mode fleets cannot use the shared solution pool");
+    }
+  }
   if (use_power_model) {
     power.validate();
     // Every device in the mix needs a power model; failing here turns a
@@ -100,6 +113,13 @@ SessionSpec FleetSimulator::session_spec(std::size_t id) const {
 }
 
 SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
+  return run_policy_session(spec, nullptr, nullptr).result;
+}
+
+PolicySessionOutput FleetSimulator::run_policy_session(
+    const SessionSpec& spec,
+    std::shared_ptr<const policy::PriorSnapshot> priors,
+    std::shared_ptr<const policy::LinUcbBandit> bandit) const {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Telemetry: name this worker's wall-clock track, route the session's
@@ -127,55 +147,99 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
   std::unique_ptr<app::MarApp> app =
       scenario::make_app(device, spec.objects, spec.tasks, spec.seed, base);
 
-  core::MonitoredSessionConfig cfg = spec_.session;
-  cfg.hbo.seed = spec.seed;
-  if (pool_) cfg.use_lookup_table = true;
-  core::MonitoredSession session(*app, cfg);
+  PolicySessionOutput output;
+  SessionResult& out = output.result;
+  out.session_id = spec.id;
+  out.device = spec.device;
+  out.scenario = spec.scenario_name();
+  out.seed = spec.seed;
 
   std::unique_ptr<edgesvc::EdgeClient> edge_client;
   if (broker_) {
     edge_client = broker_->make_client(spec.id, spec.seed);
     app->attach_edge(edge_client.get());
-    session.set_edge(edge_client.get());
   }
 
-  if (pool_) {
-    // Bind this session's pool coordinates once; the environment part of
-    // the key varies per activation.
-    const PoolKey base{spec.device, spec.scenario_name(), {}};
-    SharedSolutionPool* pool = pool_.get();
-    core::SolutionStoreHooks hooks;
-    hooks.fetch = [pool, base](const core::EnvironmentKey& env) {
-      PoolKey key = base;
-      key.env = env;
-      return pool->fetch(key);
-    };
-    hooks.publish = [pool, base](const core::EnvironmentKey& env,
-                                 const core::StoredSolution& solution) {
-      PoolKey key = base;
-      key.env = env;
-      pool->publish(key, solution);
-    };
-    session.set_solution_store(std::move(hooks));
+  if (bandit) {
+    // Agent mode: the LinUCB loop replaces HBO entirely. Selection runs
+    // against the frozen epoch model; the pulls travel back to the
+    // barrier as Experience for the main-thread learner feed.
+    policy::BanditSessionConfig bcfg;
+    bcfg.hbo = spec_.session.hbo;
+    bcfg.hbo.seed = spec.seed;
+    policy::BanditSession session(*app, bandit, bcfg);
+    session.run_until(spec_.duration_s);
+    out.sim_seconds = app->sim().now();
+    out.periods = session.reward_stat().count();
+    out.mean_quality = session.quality_stat().mean();
+    out.mean_latency_ratio = session.latency_ratio_stat().mean();
+    out.mean_reward = session.reward_stat().mean();
+    output.experiences = session.drain_experiences();
+    out.bandit_pulls = output.experiences.size();
+    out.activations = out.bandit_pulls;
+  } else {
+    core::MonitoredSessionConfig cfg = spec_.session;
+    cfg.hbo.seed = spec.seed;
+    if (pool_) cfg.use_lookup_table = true;
+    core::MonitoredSession session(*app, cfg);
+    if (edge_client) session.set_edge(edge_client.get());
+
+    if (pool_) {
+      // Bind this session's pool coordinates once; the environment part of
+      // the key varies per activation.
+      const PoolKey base{spec.device, spec.scenario_name(), {}};
+      SharedSolutionPool* pool = pool_.get();
+      core::SolutionStoreHooks hooks;
+      hooks.fetch = [pool, base](const core::EnvironmentKey& env) {
+        PoolKey key = base;
+        key.env = env;
+        return pool->fetch(key);
+      };
+      hooks.publish = [pool, base](const core::EnvironmentKey& env,
+                                   const core::StoredSolution& solution) {
+        PoolKey key = base;
+        key.env = env;
+        pool->publish(key, solution);
+      };
+      session.set_solution_store(std::move(hooks));
+    }
+
+    if (priors) {
+      // Prior mode: full activations consult the frozen epoch snapshot
+      // (exact environment first, pooled scenario fallback). Reads only —
+      // the store itself is fed at the barrier.
+      core::PolicyHooks hooks;
+      hooks.prior = [priors, device = spec.device,
+                     scenario = spec.scenario_name()](
+                        const core::EnvironmentKey& env)
+          -> std::shared_ptr<const bo::SurrogatePrior> {
+        return priors->find(device, scenario, env);
+      };
+      session.set_policy_hooks(std::move(hooks));
+    }
+
+    session.run_until(spec_.duration_s);
+
+    out.sim_seconds = app->sim().now();
+    out.periods = session.reward_stat().count();
+    out.mean_quality = session.quality_stat().mean();
+    out.mean_latency_ratio = session.latency_ratio_stat().mean();
+    out.mean_reward = session.reward_stat().mean();
+    out.activations = session.activations().size();
+    for (const core::SessionActivation& a : session.activations()) {
+      if (a.warm_start) ++out.warm_starts;
+      if (a.from_shared_store) ++out.shared_warm_starts;
+      if (a.prior_injected) ++out.prior_activations;
+      if (priors && !a.warm_start) {
+        // Carry every explored (z, cost) back for the PriorStore feed,
+        // keyed by the environment the activation fired in.
+        for (const core::IterationRecord& r : a.result.history)
+          output.observations.push_back(PolicyObservation{a.env, r.z, r.cost});
+      }
+    }
+    out.edge_bo_fallbacks = session.edge_bo_fallbacks();
   }
 
-  session.run_until(spec_.duration_s);
-
-  SessionResult out;
-  out.session_id = spec.id;
-  out.device = spec.device;
-  out.scenario = spec.scenario_name();
-  out.seed = spec.seed;
-  out.sim_seconds = app->sim().now();
-  out.periods = session.reward_stat().count();
-  out.mean_quality = session.quality_stat().mean();
-  out.mean_latency_ratio = session.latency_ratio_stat().mean();
-  out.mean_reward = session.reward_stat().mean();
-  out.activations = session.activations().size();
-  for (const core::SessionActivation& a : session.activations()) {
-    if (a.warm_start) ++out.warm_starts;
-    if (a.from_shared_store) ++out.shared_warm_starts;
-  }
   if (edge_client) {
     const edgesvc::EdgeClientStats& es = edge_client->stats();
     out.edge_requests = es.requests;
@@ -184,7 +248,6 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
     out.edge_timeout_attempts = es.timeout_attempts;
     out.edge_fallbacks = es.fallbacks;
     out.edge_decim_fallbacks = app->decimation().edge_fallbacks();
-    out.edge_bo_fallbacks = session.edge_bo_fallbacks();
     broker_->absorb(*edge_client);
   }
   if (const power::PowerManager* pm = app->power()) {
@@ -203,7 +266,7 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
     HB_TELEM_COUNT("fleet.sessions_completed", 1.0);
     HB_TELEM_HIST_US("fleet.session_wall_us", out.wall_seconds * 1e6);
   }
-  return out;
+  return output;
 }
 
 FleetResult FleetSimulator::run() {
@@ -216,27 +279,81 @@ FleetResult FleetSimulator::run() {
     broker_ =
         std::make_unique<edgesvc::EdgeBroker>(spec_.edge, spec_.sessions);
   }
+  prior_store_.reset();
+  bandit_.reset();
+  policy_epochs_ = 0;
+  if (spec_.policy.mode == PolicyMode::Prior)
+    prior_store_ = std::make_unique<policy::PriorStore>(spec_.policy.prior);
+  if (spec_.policy.mode == PolicyMode::Bandit) {
+    bandit_ = std::make_unique<policy::LinUcbBandit>(
+        policy::make_arm_grid(spec_.session.hbo.r_min),
+        spec_.policy.bandit);
+  }
 
   const std::size_t threads =
       spec_.threads ? spec_.threads : ThreadPool::hardware_threads();
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<std::future<SessionResult>> futures;
-  futures.reserve(spec_.sessions);
-  {
-    ThreadPool workers(threads);
-    for (std::size_t id = 0; id < spec_.sessions; ++id) {
-      futures.push_back(workers.submit(
-          [this, spec = session_spec(id)] { return run_session(spec); }));
-    }
-    // ThreadPool drains on destruction; collecting via get() below also
-    // rethrows any session failure to the caller.
-  }
-
   FleetResult out;
   out.sessions.reserve(spec_.sessions);
-  for (std::future<SessionResult>& f : futures)
-    out.sessions.push_back(f.get());
+
+  if (spec_.policy.mode == PolicyMode::Off) {
+    std::vector<std::future<SessionResult>> futures;
+    futures.reserve(spec_.sessions);
+    {
+      ThreadPool workers(threads);
+      for (std::size_t id = 0; id < spec_.sessions; ++id) {
+        futures.push_back(workers.submit(
+            [this, spec = session_spec(id)] { return run_session(spec); }));
+      }
+      // ThreadPool drains on destruction; collecting via get() below also
+      // rethrows any session failure to the caller.
+    }
+    for (std::future<SessionResult>& f : futures)
+      out.sessions.push_back(f.get());
+  } else {
+    // Epoch loop: every epoch freezes the learner's state, runs its
+    // sessions concurrently against the frozen artifact, then feeds the
+    // learner from the completed sessions in session-id order. The
+    // barrier (and the id-ordered feed) is what makes a policy fleet
+    // bit-identical across thread counts.
+    ThreadPool workers(threads);
+    const std::size_t epoch = spec_.policy.epoch_sessions;
+    for (std::size_t start = 0; start < spec_.sessions; start += epoch) {
+      HB_TRACE_SCOPE("fleet", "fleet.policy_epoch");
+      const std::size_t end = std::min(start + epoch, spec_.sessions);
+      std::shared_ptr<const policy::PriorSnapshot> priors =
+          prior_store_ ? prior_store_->snapshot() : nullptr;
+      std::shared_ptr<const policy::LinUcbBandit> frozen =
+          bandit_ ? std::make_shared<const policy::LinUcbBandit>(*bandit_)
+                  : nullptr;
+      std::vector<std::future<PolicySessionOutput>> futures;
+      futures.reserve(end - start);
+      for (std::size_t id = start; id < end; ++id) {
+        futures.push_back(
+            workers.submit([this, spec = session_spec(id), priors, frozen] {
+              return run_policy_session(spec, priors, frozen);
+            }));
+      }
+      for (std::future<PolicySessionOutput>& f : futures) {
+        PolicySessionOutput o = f.get();
+        if (prior_store_) {
+          for (const PolicyObservation& obs : o.observations) {
+            prior_store_->record(
+                policy::PriorKey{o.result.device, o.result.scenario, obs.env},
+                obs.z, obs.cost);
+          }
+        }
+        if (bandit_) {
+          for (const policy::Experience& e : o.experiences)
+            bandit_->update(e.arm, e.context, e.reward);
+        }
+        out.sessions.push_back(std::move(o.result));
+      }
+      ++policy_epochs_;
+      HB_TELEM_COUNT("fleet.policy_epochs", 1.0);
+    }
+  }
 
   const SharedSolutionPoolStats pool_stats =
       pool_ ? pool_->stats() : SharedSolutionPoolStats{};
@@ -244,6 +361,19 @@ FleetResult FleetSimulator::run() {
       broker_ ? broker_->stats() : edgesvc::EdgeFleetStats{};
   out.metrics = aggregate_fleet(out.sessions, seconds_since(t0), pool_stats,
                                 broker_ ? &edge_stats : nullptr);
+  if (spec_.policy.mode != PolicyMode::Off) {
+    FleetMetrics::PolicyHealth& ph = out.metrics.policy;
+    ph.enabled = true;
+    ph.mode = spec_.policy.mode == PolicyMode::Prior ? "prior" : "bandit";
+    ph.epochs = policy_epochs_;
+    if (prior_store_) {
+      const policy::PriorStoreStats ps = prior_store_->stats();
+      ph.store_keys = ps.keys;
+      ph.store_observations = ps.observations;
+      ph.priors_fitted = ps.fits;
+    }
+    if (bandit_) ph.bandit_updates = bandit_->updates();
+  }
   return out;
 }
 

@@ -8,6 +8,9 @@
 #include "hbosim/core/monitored_session.hpp"
 #include "hbosim/fleet/fleet_metrics.hpp"
 #include "hbosim/fleet/shared_pool.hpp"
+#include "hbosim/policy/bandit.hpp"
+#include "hbosim/policy/bandit_session.hpp"
+#include "hbosim/policy/prior_store.hpp"
 #include "hbosim/power/power_manager.hpp"
 #include "hbosim/scenario/scenarios.hpp"
 
@@ -24,6 +27,16 @@
 /// start depends on completion order and is therefore scheduling-
 /// dependent; each warm-started trajectory is still fully deterministic
 /// given the solution it received.
+///
+/// The learned policy layer (FleetSpec::policy) keeps the bit-identity
+/// guarantee even though sessions *learn from each other*: the fleet runs
+/// in epochs of `epoch_sessions` sessions. Every session in an epoch
+/// reads the same frozen artifact — an immutable PriorSnapshot (mode
+/// Prior) or a frozen copy of the LinUCB model (mode Bandit) — and the
+/// mutable learner is fed only at the epoch barrier, on the main thread,
+/// in session-id order. Epoch membership, snapshot content, and feed
+/// order are all pure functions of the spec, so a policy-enabled,
+/// pool-disabled fleet is bit-identical on 1 thread and on N threads.
 
 namespace hbosim::fleet {
 
@@ -38,6 +51,24 @@ struct ScenarioMixEntry {
   scenario::ObjectSet objects = scenario::ObjectSet::SC2;
   scenario::TaskSet tasks = scenario::TaskSet::CF2;
   double weight = 1.0;
+};
+
+/// How (if at all) the fleet learns across sessions beyond the solution
+/// pool. See the determinism note at the top of this file.
+enum class PolicyMode {
+  Off,     ///< No policy layer; the pre-policy fleet loop, bit for bit.
+  Prior,   ///< HBO sessions + PriorStore-fitted GP warm-start priors.
+  Bandit,  ///< Sessions run the LinUCB agent instead of HBO.
+};
+
+struct FleetPolicyConfig {
+  PolicyMode mode = PolicyMode::Off;
+  /// Sessions per learning epoch: every epoch reads one frozen artifact,
+  /// and the learner absorbs the epoch's traffic at the barrier. Smaller
+  /// epochs learn faster but serialize more.
+  std::size_t epoch_sessions = 32;
+  policy::PriorStoreConfig prior;  ///< Mode Prior knobs.
+  policy::BanditConfig bandit;     ///< Mode Bandit knobs.
 };
 
 struct FleetSpec {
@@ -62,6 +93,10 @@ struct FleetSpec {
 
   bool use_shared_pool = false;
   SharedSolutionPoolConfig pool;
+
+  /// Learned policy layer (hbosim::policy): warm-start priors or the
+  /// bandit agent, trained on the fleet's own traffic at epoch barriers.
+  FleetPolicyConfig policy;
 
   /// Route every session's decimation misses and shared-store fetches
   /// through one contended edge box (see hbosim::edgesvc). Each session
@@ -100,6 +135,23 @@ struct FleetResult {
   FleetMetrics metrics;
 };
 
+/// One (environment, configuration, cost) sample a prior-mode session
+/// produced, carried back to the barrier for the PriorStore feed.
+struct PolicyObservation {
+  core::EnvironmentKey env;
+  std::vector<double> z;
+  double cost = 0.0;
+};
+
+/// run_policy_session's return: the ordinary per-session roll-up plus the
+/// epoch traffic the main thread feeds the learner with, in session-id
+/// order, at the barrier.
+struct PolicySessionOutput {
+  SessionResult result;
+  std::vector<PolicyObservation> observations;  ///< Mode Prior.
+  std::vector<policy::Experience> experiences;  ///< Mode Bandit.
+};
+
 class FleetSimulator {
  public:
   explicit FleetSimulator(FleetSpec spec);
@@ -111,8 +163,18 @@ class FleetSimulator {
   /// Simulate one session to completion on the calling thread.
   SessionResult run_session(const SessionSpec& spec) const;
 
+  /// Simulate one session against frozen epoch artifacts: with `priors`
+  /// set, an HBO session whose full activations consult the snapshot;
+  /// with `bandit` set, a BanditSession selecting against the frozen
+  /// model. Both null reproduces run_session() exactly. Pure function of
+  /// (spec, artifacts) — callable from any worker thread.
+  PolicySessionOutput run_policy_session(
+      const SessionSpec& spec,
+      std::shared_ptr<const policy::PriorSnapshot> priors,
+      std::shared_ptr<const policy::LinUcbBandit> bandit) const;
+
   /// Run the whole fleet (blocking). Safe to call repeatedly; each call
-  /// starts from a fresh pool.
+  /// starts from a fresh pool/store/learner.
   FleetResult run();
 
   const FleetSpec& spec() const { return spec_; }
@@ -120,11 +182,18 @@ class FleetSimulator {
   const SharedSolutionPool* pool() const { return pool_.get(); }
   /// Null unless use_edge_service; reset at the start of every run().
   const edgesvc::EdgeBroker* edge_broker() const { return broker_.get(); }
+  /// Null unless policy mode Prior; reset at the start of every run().
+  const policy::PriorStore* prior_store() const { return prior_store_.get(); }
+  /// Null unless policy mode Bandit; reset at the start of every run().
+  const policy::LinUcbBandit* bandit() const { return bandit_.get(); }
 
  private:
   FleetSpec spec_;
   std::unique_ptr<SharedSolutionPool> pool_;
   std::unique_ptr<edgesvc::EdgeBroker> broker_;
+  std::unique_ptr<policy::PriorStore> prior_store_;
+  std::unique_ptr<policy::LinUcbBandit> bandit_;
+  std::size_t policy_epochs_ = 0;
 };
 
 }  // namespace hbosim::fleet

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
 
 #include "hbosim/common/error.hpp"
 #include "hbosim/fleet/fleet_simulator.hpp"
@@ -119,6 +120,120 @@ TEST(SharedSolutionPool, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_TRUE(pool.fetch(a).has_value());
   EXPECT_FALSE(pool.fetch(b).has_value());
   EXPECT_TRUE(pool.fetch(c).has_value());
+}
+
+// A scripted interleaving of publishes and fetches across more keys than
+// the pool holds: fetch-refreshes must steer eviction order exactly, and
+// the lower-cost-wins collision policy must hold mid-stream. Pins the
+// single-threaded semantics the concurrent smoke below relies on.
+TEST(SharedSolutionPool, InterleavedFetchPublishEvictionOrderIsDeterministic) {
+  fleet::SharedSolutionPoolConfig cfg;
+  cfg.capacity = 3;
+  fleet::SharedSolutionPool pool(cfg);
+  auto key = [](std::uint64_t i) {
+    return fleet::PoolKey{"d", "s", {i, 0, 0}};
+  };
+
+  pool.publish(key(1), {{}, -1.0});
+  pool.publish(key(2), {{}, -1.0});
+  pool.publish(key(3), {{}, -1.0});
+  // Touch 1 and 2; 3 becomes LRU despite being the newest insert.
+  EXPECT_TRUE(pool.fetch(key(1)).has_value());
+  EXPECT_TRUE(pool.fetch(key(2)).has_value());
+  pool.publish(key(4), {{}, -1.0});  // evicts 3
+  EXPECT_FALSE(pool.fetch(key(3)).has_value());
+
+  // A losing collision (higher cost) keeps the better entry but touches
+  // the key's recency (the collision probe); re-touch 2 and 4 so 1 is
+  // back at LRU before the next insert.
+  pool.publish(key(1), {{}, -0.1});
+  EXPECT_DOUBLE_EQ(pool.fetch(key(2))->cost, -1.0);  // refresh 2
+  EXPECT_TRUE(pool.fetch(key(4)).has_value());       // refresh 4
+  pool.publish(key(5), {{}, -1.0});                  // evicts 1
+  EXPECT_FALSE(pool.fetch(key(1)).has_value());
+  EXPECT_DOUBLE_EQ(pool.fetch(key(2))->cost, -1.0);
+
+  const fleet::SharedSolutionPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.stores, 6u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+// Multi-thread smoke for the pool's locking, exercised under TSan by the
+// CI sanitizer job: writers publish improving solutions while readers
+// fetch; afterwards every surviving entry holds the best cost published
+// for its key and the counters balance.
+TEST(SharedSolutionPool, ConcurrentFetchPublishSmoke) {
+  fleet::SharedSolutionPoolConfig cfg;
+  cfg.capacity = 16;  // smaller than the key range -> eviction under load
+  fleet::SharedSolutionPool pool(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  constexpr std::uint64_t kKeys = 24;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const fleet::PoolKey key{
+            "d", "s", {static_cast<std::uint64_t>((t * 7 + i) % kKeys), 0, 0}};
+        if (i % 3 == 0) {
+          pool.publish(key, {{0.5, 0.5, 0.0, 0.8}, -1.0 - 0.001 * i});
+        } else {
+          const auto hit = pool.fetch(key);
+          if (hit) EXPECT_LE(hit->cost, -1.0);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const fleet::SharedSolutionPoolStats stats = pool.stats();
+  EXPECT_LE(stats.size, 16u);
+  EXPECT_EQ(stats.stores,
+            static_cast<std::uint64_t>(kThreads) * ((kOpsPerThread + 2) / 3));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread -
+                stats.stores);
+}
+
+// SolutionLookupTable::replace under an interleaved fetch/store sequence:
+// store keeps the lower-cost entry on collision, so after a warm start is
+// rejected only replace() can install the (worse but real) measured cost.
+TEST(SolutionLookupTable, ReplaceOverridesLowerCostWinsMidSequence) {
+  core::SolutionLookupTable table;
+  const core::EnvironmentKey env{7, 3, 42};
+
+  table.store(env, {{1.0, 0.0, 0.0, 1.0}, -2.0});
+  ASSERT_TRUE(table.find(env).has_value());
+
+  // A later, worse store loses the collision...
+  table.store(env, {{0.0, 1.0, 0.0, 0.5}, -1.0});
+  EXPECT_DOUBLE_EQ(table.find(env)->cost, -2.0);
+  // ...but replace() overwrites unconditionally (stale-entry poisoning).
+  table.replace(env, {{0.0, 1.0, 0.0, 0.5}, -1.0});
+  EXPECT_DOUBLE_EQ(table.find(env)->cost, -1.0);
+  EXPECT_DOUBLE_EQ(table.find(env)->z[1], 1.0);
+
+  // Interleave further: store now wins again only with a better cost.
+  table.store(env, {{0.5, 0.5, 0.0, 0.9}, -0.5});
+  EXPECT_DOUBLE_EQ(table.find(env)->cost, -1.0);
+  table.store(env, {{0.5, 0.5, 0.0, 0.9}, -3.0});
+  EXPECT_DOUBLE_EQ(table.find(env)->cost, -3.0);
+  // replace() on a missing key inserts.
+  const core::EnvironmentKey fresh{8, 3, 42};
+  table.replace(fresh, {{0.2, 0.3, 0.5, 0.7}, -0.25});
+  ASSERT_TRUE(table.find(fresh).has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FleetMetrics, SummarizeMetricThrowsOnEmptyInput) {
+  EXPECT_THROW(fleet::summarize_metric({}), Error);
+  const fleet::MetricSummary one = fleet::summarize_metric({2.5});
+  EXPECT_DOUBLE_EQ(one.min, 2.5);
+  EXPECT_DOUBLE_EQ(one.p99, 2.5);
+  EXPECT_DOUBLE_EQ(one.max, 2.5);
 }
 
 // The acceptance-criteria test: a pool-disabled fleet produces identical
