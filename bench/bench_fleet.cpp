@@ -8,11 +8,19 @@
 //   * warm-start ablation: the same fleet with the SharedSolutionPool on,
 //     reporting pool hit rate and the warm-start fraction of activations;
 //   * policy layer: the same fleet in PolicyMode::Prior, reporting how
-//     much of the full-activation traffic ran with a fitted prior.
+//     much of the full-activation traffic ran with a fitted prior;
+//   * mega-fleet scaling curve: a sessions x threads grid run through the
+//     streaming path (retain_results=false, arena-backed sessions, pool
+//     on), reporting wall time, sessions/sec, peak RSS, and pool
+//     hit/contention rates — the 10^5-session regime.
 //
-// Usage: bench_fleet [--smoke] [--json <path>] [sessions] [duration_s]
+// Usage: bench_fleet [--smoke] [--json <path>] [--gate <committed.json>]
+//                    [sessions] [duration_s]
 //   --smoke   smaller fleet (CI); defaults otherwise: 256 sessions, 20 s
 //   --json    write a machine-readable summary (default: BENCH_fleet.json)
+//   --gate    in --smoke mode, enforce the smoke_gate block of a committed
+//             JSON (max wall clock, max peak RSS, min mega throughput);
+//             exceeding any bound fails the bench — the CI regression gate
 
 #include <algorithm>
 #include <chrono>
@@ -21,10 +29,12 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "hbosim/common/meminfo.hpp"
 #include "hbosim/common/thread_pool.hpp"
 #include "hbosim/fleet/fleet_simulator.hpp"
 
@@ -53,6 +63,37 @@ struct ScalePoint {
   double speedup = 0.0;
 };
 
+struct MegaPoint {
+  std::size_t sessions = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double sessions_per_sec = 0.0;
+  double peak_rss_mb = 0.0;
+  double pool_hit_rate = 0.0;
+  double pool_contention_rate = 0.0;
+};
+
+double mb(std::size_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+// The committed smoke-mode regression bounds, echoed into every JSON this
+// bench writes and enforced by --gate. Deliberately generous: they catch
+// order-of-magnitude regressions (an accidental O(sessions) buffer, a
+// serialization collapse), not scheduler noise on shared CI runners.
+constexpr double kGateMaxWallS = 600.0;
+constexpr double kGateMaxPeakRssMb = 2048.0;
+constexpr double kGateMinMegaSessionsPerSec = 10.0;
+
+/// Minimal scan for `"key": <number>` inside a JSON text; good enough for
+/// the flat smoke_gate block this bench itself writes.
+bool extract_number(const std::string& text, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::atof(text.c_str() + at + needle.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,11 +101,14 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string json_path = "BENCH_fleet.json";
+  std::string gate_path;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc)
+      gate_path = argv[++i];
     else
       positional.push_back(argv[i]);
   }
@@ -138,7 +182,8 @@ int main(int argc, char** argv) {
       pool_hit_rate = m.pool.hit_rate();
       std::cout << "  pool entries=" << m.pool.size << " stores="
                 << m.pool.stores << " evictions=" << m.pool.evictions
-                << "\n";
+                << " shards=" << m.pool.shards << " lock_contention_rate="
+                << std::setprecision(4) << m.pool.contention_rate() << "\n";
       benchutil::section("fleet-wide per-session aggregates (pool ON)");
       auto row = [](const char* name, const fleet::MetricSummary& s) {
         std::cout << "  " << std::left << std::setw(14) << name << std::right
@@ -166,6 +211,54 @@ int main(int argc, char** argv) {
             << pm.policy.priors_fitted << "  prior_activations="
             << pm.policy.prior_activations << "  injection_rate="
             << std::setprecision(3) << pm.policy.prior_injection_rate << "\n";
+
+  // --- mega-fleet streaming scaling curve ----------------------------------
+  // The 10^5-session regime: retain_results=false (P² roll-up, bounded
+  // in-flight window), arena-backed sessions, shared pool on. Runs LAST so
+  // the process's VmHWM (monotone) reflects the mega fleet, which is the
+  // largest phase — that is the peak-RSS figure the gate bounds.
+  benchutil::section("mega-fleet streaming path (retain_results=false)");
+  const std::vector<std::size_t> mega_sessions =
+      smoke ? std::vector<std::size_t>{512, 2048}
+            : std::vector<std::size_t>{4096, 16384, 65536};
+  std::vector<std::size_t> mega_threads = {1, 4,
+                                           ThreadPool::hardware_threads()};
+  std::sort(mega_threads.begin(), mega_threads.end());
+  mega_threads.erase(std::unique(mega_threads.begin(), mega_threads.end()),
+                     mega_threads.end());
+  std::vector<MegaPoint> mega;
+  std::cout << "  sessions  threads    wall_s  sessions/s  peak_rss_mb"
+               "  hit_rate  contention\n";
+  for (std::size_t n : mega_sessions) {
+    for (std::size_t threads : mega_threads) {
+      fleet::FleetSpec spec = base_spec(n, 10.0);
+      spec.threads = threads;
+      spec.retain_results = false;
+      spec.use_shared_pool = true;
+      spec.session.use_lookup_table = true;
+      const fleet::FleetResult result = fleet::FleetSimulator(spec).run();
+      const fleet::FleetMetrics& m = result.metrics;
+      MegaPoint p;
+      p.sessions = n;
+      p.threads = threads;
+      p.wall_s = m.wall_seconds;
+      p.sessions_per_sec = m.sessions_per_sec;
+      p.peak_rss_mb = mb(peak_rss_bytes());
+      p.pool_hit_rate = m.pool.hit_rate();
+      p.pool_contention_rate = m.pool.contention_rate();
+      mega.push_back(p);
+      std::cout << "  " << std::setw(8) << n << std::setw(9) << threads
+                << std::setprecision(2) << std::setw(10) << p.wall_s
+                << std::setprecision(1) << std::setw(12) << p.sessions_per_sec
+                << std::setw(13) << p.peak_rss_mb << std::setprecision(3)
+                << std::setw(10) << p.pool_hit_rate << std::setprecision(4)
+                << std::setw(12) << p.pool_contention_rate << "\n";
+    }
+  }
+  const double peak_rss_mb = mb(peak_rss_bytes());
+  std::cout << "  process peak RSS: " << std::setprecision(1) << peak_rss_mb
+            << " MB (streaming keeps retained state O(threads), so the "
+               "grid's RSS stays near-flat in session count)\n";
 
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
@@ -196,8 +289,56 @@ int main(int argc, char** argv) {
        << ", \"priors_fitted\": " << pm.policy.priors_fitted
        << ", \"prior_activations\": " << pm.policy.prior_activations
        << ", \"injection_rate\": " << pm.policy.prior_injection_rate
+       << "},\n  \"mega\": [\n";
+  for (std::size_t i = 0; i < mega.size(); ++i) {
+    const MegaPoint& p = mega[i];
+    json << "    {\"sessions\": " << p.sessions << ", \"threads\": "
+         << p.threads << ", \"wall_s\": " << p.wall_s
+         << ", \"sessions_per_sec\": " << p.sessions_per_sec
+         << ", \"peak_rss_mb\": " << p.peak_rss_mb << ", \"pool_hit_rate\": "
+         << p.pool_hit_rate << ", \"pool_contention_rate\": "
+         << p.pool_contention_rate << "}"
+         << (i + 1 < mega.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"peak_rss_mb\": " << peak_rss_mb
+       << ",\n  \"smoke_gate\": {\"max_wall_s\": " << kGateMaxWallS
+       << ", \"max_peak_rss_mb\": " << kGateMaxPeakRssMb
+       << ", \"min_mega_sessions_per_sec\": " << kGateMinMegaSessionsPerSec
        << "}\n}\n";
   std::cout << "JSON summary written to " << json_path << "\n";
+
+  // --- CI regression gate --------------------------------------------------
+  // Enforced only in smoke mode (full runs regenerate the committed JSON;
+  // gating them against themselves would be circular).
+  bool gate_ok = true;
+  if (!gate_path.empty() && smoke) {
+    std::ifstream gate_file(gate_path);
+    std::string gate_text((std::istreambuf_iterator<char>(gate_file)),
+                          std::istreambuf_iterator<char>());
+    double max_wall = 0.0, max_rss = 0.0, min_sps = 0.0;
+    if (!extract_number(gate_text, "max_wall_s", &max_wall) ||
+        !extract_number(gate_text, "max_peak_rss_mb", &max_rss) ||
+        !extract_number(gate_text, "min_mega_sessions_per_sec", &min_sps)) {
+      std::cout << "GATE: no smoke_gate block in " << gate_path
+                << " — failing so the committed baseline gets regenerated\n";
+      gate_ok = false;
+    } else {
+      double worst_sps = mega.empty() ? 0.0 : mega.front().sessions_per_sec;
+      for (const MegaPoint& p : mega)
+        worst_sps = std::min(worst_sps, p.sessions_per_sec);
+      auto check = [&gate_ok](const char* what, double got, double bound,
+                              bool upper) {
+        const bool ok = upper ? got <= bound : got >= bound;
+        std::cout << "GATE " << (ok ? "ok  " : "FAIL") << ": " << what << " = "
+                  << std::setprecision(2) << got << (upper ? " <= " : " >= ")
+                  << bound << "\n";
+        gate_ok = gate_ok && ok;
+      };
+      check("bench wall_s", wall_s, max_wall, /*upper=*/true);
+      check("peak_rss_mb", peak_rss_mb, max_rss, /*upper=*/true);
+      check("mega sessions/s (worst)", worst_sps, min_sps, /*upper=*/false);
+    }
+  }
 
   // The structural story this bench gates on: parallelism must actually
   // help, and the policy layer must fit and inject priors into the fleet.
@@ -209,5 +350,5 @@ int main(int argc, char** argv) {
                       scaling.back().speedup > 1.2;
   const bool policy_learns =
       pm.policy.priors_fitted > 0 && pm.policy.prior_activations > 0;
-  return (scales && policy_learns) ? 0 : 1;
+  return (scales && policy_learns && gate_ok) ? 0 : 1;
 }

@@ -37,13 +37,29 @@
 //                          runs cold (nothing learned yet), later epochs
 //                          read the frozen artifact trained on everything
 //                          before them.
+//
+//   --sessions N           fleet size (default 24). Large fleets (> 96
+//                          sessions) switch to a fast session profile
+//                          (shorter duration, truncated activations) so a
+//                          10^5-session run finishes in minutes.
+//
+//   --stream               run the streaming roll-up path
+//                          (retain_results=false): per-session results are
+//                          folded into P² sketches as they complete instead
+//                          of being retained, so memory stays flat in fleet
+//                          size. Prints per-epoch throughput (sessions/s)
+//                          and RSS heartbeats, and the peak RSS at exit.
+//                          The per-session table is skipped (nothing is
+//                          retained to print).
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "hbosim/common/meminfo.hpp"
 #include "hbosim/fleet/fleet_simulator.hpp"
 #include "hbosim/telemetry/report.hpp"
 #include "hbosim/telemetry/telemetry.hpp"
@@ -55,6 +71,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool use_edge = false;
   bool use_power = false;
+  bool stream = false;
+  std::size_t sessions_override = 0;
   std::string edge_preset = "wifi";
   std::string policy_mode = "off";
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +81,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      sessions_override = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (sessions_override == 0) {
+        std::cerr << "--sessions needs a positive count\n";
+        return 2;
+      }
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (arg == "--edge") {
       use_edge = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
@@ -80,7 +106,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
                    " [--edge [lan|wifi|congested]] [--power]"
-                   " [--policy [prior|bandit|off]]\n";
+                   " [--policy [prior|bandit|off]]"
+                   " [--sessions N] [--stream]\n";
       return 2;
     }
   }
@@ -119,6 +146,34 @@ int main(int argc, char** argv) {
     // Isolate the policy layer's contribution: no raw-solution sharing.
     spec.use_shared_pool = false;
   }
+  if (sessions_override != 0) {
+    spec.sessions = sessions_override;
+    if (spec.sessions > 96) {
+      // Mega profile: a 10^5-session fleet at the demo's default per-
+      // session cost would run for hours; shorten the simulated horizon
+      // and truncate activations so each session costs a few ms.
+      spec.duration_s = 12.0;
+      spec.session.hbo.n_initial = 2;
+      spec.session.hbo.n_iterations = 3;
+    }
+  }
+  if (stream) {
+    spec.retain_results = false;
+    // ~20 heartbeats over the run, whatever the fleet size.
+    spec.progress_every = std::max<std::size_t>(spec.sessions / 20, 1);
+    spec.on_progress = [](const fleet::FleetProgress& p) {
+      const double sps =
+          p.wall_seconds > 0.0
+              ? static_cast<double>(p.completed) / p.wall_seconds
+              : 0.0;
+      std::cout << "  [" << p.completed << "/" << p.sessions << "] "
+                << std::fixed << std::setprecision(1) << p.wall_seconds
+                << " s elapsed, " << std::setprecision(0) << sps
+                << " sessions/s, rss "
+                << current_rss_bytes() / (1 << 20) << " MB (peak "
+                << peak_rss_bytes() / (1 << 20) << " MB)\n";
+    };
+  }
   if (use_power) {
     spec.use_power_model = true;
     // Weight the soak workload heavily so the 40-second demo shows real
@@ -144,8 +199,10 @@ int main(int argc, char** argv) {
   const fleet::FleetResult result = simulator.run();
 
   std::cout << std::fixed << std::setprecision(3);
-  std::cout << "  id  device      scenario  activ  warm(shared)  mean_Q  "
-               "mean_eps  mean_B\n";
+  if (!result.sessions.empty()) {
+    std::cout << "  id  device      scenario  activ  warm(shared)  mean_Q  "
+                 "mean_eps  mean_B\n";
+  }
   for (const fleet::SessionResult& s : result.sessions) {
     std::cout << "  " << std::setw(2) << s.session_id << "  " << std::left
               << std::setw(10) << s.device << "  " << std::setw(8)
@@ -173,6 +230,10 @@ int main(int argc, char** argv) {
             << "  pool: " << m.pool.size << " entries, hit rate "
             << m.pool.hit_rate() << ", " << m.pool.stores << " stores, "
             << m.pool.evictions << " evictions\n";
+  if (stream) {
+    std::cout << "  streaming roll-up (percentiles via P2 sketches), peak rss "
+              << peak_rss_bytes() / (1 << 20) << " MB\n";
+  }
   if (m.edge.enabled) {
     std::cout << "  edge: " << m.edge.requests << " requests, "
               << m.edge.retries << " retries, " << m.edge.fallbacks
@@ -216,35 +277,38 @@ int main(int argc, char** argv) {
 
     // Warm-vs-cold convergence: epoch 0 ran before anything was learned;
     // every later epoch reads an artifact trained on all prior epochs.
-    std::cout << "  epoch  sessions  "
-              << (spec.policy.mode == fleet::PolicyMode::Prior
-                      ? "prior_activations"
-                      : "arm_pulls        ")
-              << "  mean_B\n";
-    const std::size_t epochs = m.policy.epochs > 0 ? m.policy.epochs : 1;
-    double cold_reward = 0.0, warm_reward = 0.0;
-    for (std::size_t e = 0; e < epochs; ++e) {
-      std::size_t count = 0, learned = 0;
-      double reward = 0.0;
-      for (const fleet::SessionResult& s : result.sessions) {
-        if (s.session_id / spec.policy.epoch_sessions != e) continue;
-        ++count;
-        learned += spec.policy.mode == fleet::PolicyMode::Prior
-                       ? s.prior_activations
-                       : s.bandit_pulls;
-        reward += s.mean_reward;
+    // Needs retained per-session results, so it's skipped under --stream.
+    if (!result.sessions.empty()) {
+      std::cout << "  epoch  sessions  "
+                << (spec.policy.mode == fleet::PolicyMode::Prior
+                        ? "prior_activations"
+                        : "arm_pulls        ")
+                << "  mean_B\n";
+      const std::size_t epochs = m.policy.epochs > 0 ? m.policy.epochs : 1;
+      double cold_reward = 0.0, warm_reward = 0.0;
+      for (std::size_t e = 0; e < epochs; ++e) {
+        std::size_t count = 0, learned = 0;
+        double reward = 0.0;
+        for (const fleet::SessionResult& s : result.sessions) {
+          if (s.session_id / spec.policy.epoch_sessions != e) continue;
+          ++count;
+          learned += spec.policy.mode == fleet::PolicyMode::Prior
+                         ? s.prior_activations
+                         : s.bandit_pulls;
+          reward += s.mean_reward;
+        }
+        if (count == 0) continue;
+        reward /= static_cast<double>(count);
+        if (e == 0) cold_reward = reward;
+        if (e + 1 == epochs) warm_reward = reward;
+        std::cout << "  " << std::setw(5) << e << "  " << std::setw(8) << count
+                  << "  " << std::setw(17) << learned << "  " << std::setw(6)
+                  << reward << "\n";
       }
-      if (count == 0) continue;
-      reward /= static_cast<double>(count);
-      if (e == 0) cold_reward = reward;
-      if (e + 1 == epochs) warm_reward = reward;
-      std::cout << "  " << std::setw(5) << e << "  " << std::setw(8) << count
-                << "  " << std::setw(17) << learned << "  " << std::setw(6)
-                << reward << "\n";
-    }
-    std::cout << "  cold (epoch 0) mean_B=" << cold_reward
-              << "  warm (epoch " << epochs - 1 << ") mean_B=" << warm_reward
-              << "  delta=" << warm_reward - cold_reward << "\n";
+      std::cout << "  cold (epoch 0) mean_B=" << cold_reward
+                << "  warm (epoch " << epochs - 1 << ") mean_B=" << warm_reward
+                << "  delta=" << warm_reward - cold_reward << "\n";
+      }
   }
 
   if (telem) {

@@ -1,0 +1,61 @@
+#include "hbosim/common/arena.hpp"
+
+#include <algorithm>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim {
+
+namespace {
+thread_local Arena* tl_current_arena = nullptr;
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  HB_REQUIRE(block_bytes_ > 0, "arena block size must be positive");
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  HB_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+             "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (block_ < blocks_.size()) {
+      const Block& b = blocks_[block_];
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const std::uintptr_t aligned =
+          (base + offset_ + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+      if (aligned + bytes <= base + b.size) {
+        offset_ = static_cast<std::size_t>(aligned + bytes - base);
+        in_use_ += bytes;
+        high_water_ = std::max(high_water_, in_use_);
+        return reinterpret_cast<void*>(aligned);
+      }
+      // The tail of this block is too small; move on. Reset() rewinds to
+      // block 0, so the stranded tail is only idle until the next session.
+      ++block_;
+      offset_ = 0;
+      continue;
+    }
+    const std::size_t size = std::max(block_bytes_, bytes + align);
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    reserved_ += size;
+    ++block_allocations_;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() {
+  block_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+Arena* Arena::current() { return tl_current_arena; }
+
+ArenaScope::ArenaScope(Arena& arena) : previous_(tl_current_arena) {
+  tl_current_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { tl_current_arena = previous_; }
+
+}  // namespace hbosim

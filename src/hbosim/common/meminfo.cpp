@@ -1,0 +1,41 @@
+#include "hbosim/common/meminfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hbosim {
+
+namespace {
+
+/// Scan /proc/self/status for a "Key:   1234 kB" line; 0 if absent.
+std::size_t status_field_bytes(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t key_len = std::strlen(key);
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+        bytes = static_cast<std::size_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return status_field_bytes("VmRSS"); }
+
+std::size_t peak_rss_bytes() { return status_field_bytes("VmHWM"); }
+
+}  // namespace hbosim

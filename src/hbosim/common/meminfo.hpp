@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file meminfo.hpp
+/// Process memory introspection for the fleet-scale benches and demos.
+/// Linux-only (reads /proc/self/status); returns 0 where unavailable so
+/// callers can print "n/a" instead of gating on garbage.
+
+namespace hbosim {
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+std::size_t current_rss_bytes();
+
+/// Peak resident set size (VmHWM) in bytes; 0 when unavailable. Monotone
+/// over the process lifetime — attribute per-phase peaks by sampling
+/// before and after, or by ordering phases smallest-first.
+std::size_t peak_rss_bytes();
+
+}  // namespace hbosim

@@ -44,14 +44,91 @@ double Ewma::value() const {
 }
 
 double percentile(std::vector<double> values, double p) {
-  HB_REQUIRE(!values.empty(), "percentile of an empty sample");
-  HB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
   std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  return percentile_sorted(values, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  HB_REQUIRE(!sorted.empty(), "percentile of an empty sample");
+  HB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] + (values[hi] - values[lo]) * frac;
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  HB_REQUIRE(p > 0.0 && p < 1.0, "P2Quantile quantile must be in (0,1)");
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(q_, q_ + 5);
+      for (int i = 0; i < 5; ++i) n_[i] = static_cast<double>(i + 1);
+      dn_[0] = 0.0;
+      dn_[1] = p_ / 2.0;
+      dn_[2] = p_;
+      dn_[3] = (1.0 + p_) / 2.0;
+      dn_[4] = 1.0;
+      for (int i = 0; i < 5; ++i) np_[i] = 1.0 + 4.0 * dn_[i];
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell, clamping the extreme markers to the sample range.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Nudge the three interior markers toward their desired positions:
+  // piecewise-parabolic (P²) height prediction, falling back to linear
+  // when the parabola would break marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const int j = i + static_cast<int>(s);
+        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  HB_REQUIRE(count_ > 0, "P2Quantile::value on an empty sketch");
+  if (count_ < 5) {
+    // Exact while the sample still fits in the marker array: same
+    // interpolation as percentile().
+    std::vector<double> sorted(q_, q_ + count_);
+    std::sort(sorted.begin(), sorted.end());
+    return percentile_sorted(sorted, p_ * 100.0);
+  }
+  return q_[2];
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -52,6 +52,45 @@ class Ewma {
 /// Takes the sample by value: it is sorted internally.
 double percentile(std::vector<double> values, double p);
 
+/// percentile() for a sample the caller has ALREADY sorted ascending —
+/// lets one sort serve several percentile reads. Same interpolation, same
+/// empty/range checks; the precondition is not re-verified.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Streaming quantile estimate via the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers track (min, p/2, p, (1+p)/2, max) heights and
+/// are nudged by parabolic interpolation as observations arrive — O(1)
+/// memory and time per sample, no retained data. The first four samples
+/// are kept exactly, so value() matches percentile() exactly until the
+/// sketch takes over at n == 5.
+///
+/// Accuracy is distribution-dependent; the documented bound (pinned by
+/// tests/test_streaming_stats.cpp on sorted / reversed / constant /
+/// heavy-tailed inputs) is a *rank* error: the estimate lies between the
+/// exact (p-10) and (p+10) percentiles for n >= 1000. Estimates are
+/// order-sensitive, so deterministic pipelines must feed samples in a
+/// deterministic order (the fleet feeds in session-id order).
+class P2Quantile {
+ public:
+  /// `p` in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double p);
+
+  void add(double x);
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double quantile() const { return p_; }
+  /// Current estimate; throws on an empty sketch.
+  double value() const;
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  double q_[5] = {};   ///< Marker heights (first `count_` samples if < 5).
+  double n_[5] = {};   ///< Actual marker positions (1-based).
+  double np_[5] = {};  ///< Desired marker positions.
+  double dn_[5] = {};  ///< Desired-position increments per sample.
+};
+
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
 /// edge bins so nothing is silently dropped.
 class Histogram {

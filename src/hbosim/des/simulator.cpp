@@ -37,7 +37,11 @@ void Simulator::peel_cancelled() {
 bool Simulator::step() {
   peel_cancelled();
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
+  // Move (not copy) the handler out of the heap top: a copy would clone
+  // the std::function's captured state — one heap round-trip per event.
+  // Mutating top() is safe because pop() only needs the element to be
+  // destructible/assignable, which a moved-from Event is.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   pending_ids_.erase(ev.id);
   now_ = ev.time;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "hbosim/common/arena.hpp"
 #include "hbosim/common/types.hpp"
 
 /// \file simulator.hpp
@@ -74,12 +75,22 @@ class Simulator {
   /// Drop cancelled events sitting at the head of the queue.
   void peel_cancelled();
 
+  /// The queue and id sets allocate per event (hash nodes, heap growth);
+  /// under a fleet worker's ArenaScope those allocations come from the
+  /// worker's bump arena and are reclaimed wholesale between sessions.
+  /// With no arena installed the allocators degrade to the global heap —
+  /// identical behaviour either way (see common/arena.hpp).
+  using IdSet =
+      std::unordered_set<EventId, std::hash<EventId>, std::equal_to<EventId>,
+                         ArenaAllocator<EventId>>;
+
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
+  std::priority_queue<Event, std::vector<Event, ArenaAllocator<Event>>, Later>
+      queue_;
+  IdSet pending_ids_;
+  IdSet cancelled_;
 };
 
 }  // namespace hbosim::des

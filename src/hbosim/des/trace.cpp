@@ -56,14 +56,13 @@ bool TraceRecorder::has_series(const std::string& series) const {
   return find(series) != nullptr;
 }
 
-const std::vector<TracePoint>& TraceRecorder::series(
-    const std::string& name) const {
+const TraceSeries& TraceRecorder::series(const std::string& name) const {
   const Series* s = find(name);
   HB_REQUIRE(s != nullptr, "unknown trace series: " + name);
   return s->points;
 }
 
-const std::vector<TracePoint>& TraceRecorder::series(SeriesId id) const {
+const TraceSeries& TraceRecorder::series(SeriesId id) const {
   HB_REQUIRE(id < series_.size(), "invalid trace series id");
   return series_[id].points;
 }

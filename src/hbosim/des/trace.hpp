@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hbosim/common/arena.hpp"
 #include "hbosim/common/types.hpp"
 
 /// \file trace.hpp
@@ -27,6 +28,11 @@ struct TracePoint {
 /// Stable handle for a recorder series; valid until clear().
 using SeriesId = std::size_t;
 
+/// One recorded series. Point storage grows per sample, so it routes
+/// through the session arena when a fleet worker's ArenaScope is active
+/// (plain heap otherwise — see common/arena.hpp).
+using TraceSeries = std::vector<TracePoint, ArenaAllocator<TracePoint>>;
+
 class TraceRecorder {
  public:
   /// Append a sample to the named series (hashes the name every call).
@@ -45,8 +51,8 @@ class TraceRecorder {
   void mark(SimTime t, const std::string& label);
 
   bool has_series(const std::string& series) const;
-  const std::vector<TracePoint>& series(const std::string& name) const;
-  const std::vector<TracePoint>& series(SeriesId id) const;
+  const TraceSeries& series(const std::string& name) const;
+  const TraceSeries& series(SeriesId id) const;
   /// All series names, sorted.
   std::vector<std::string> series_names() const;
   const std::vector<std::pair<SimTime, std::string>>& markers() const {
@@ -70,7 +76,7 @@ class TraceRecorder {
  private:
   struct Series {
     std::string name;
-    std::vector<TracePoint> points;
+    TraceSeries points;
   };
 
   const Series* find(const std::string& name) const;

@@ -3,33 +3,99 @@
 #include <algorithm>
 
 #include "hbosim/common/error.hpp"
-#include "hbosim/common/stats.hpp"
 
 namespace hbosim::fleet {
 
-MetricSummary summarize_metric(const std::vector<double>& values) {
-  // Guard before touching min_element: dereferencing end() on an empty
-  // sample is UB, not the documented throw. percentile() would also
-  // reject it, but only after the damage.
+MetricSummary summarize_metric(std::vector<double> values) {
+  // Guard before touching the buffer: summarizing an empty sample is the
+  // documented throw, not UB. percentile_sorted() would also reject it,
+  // but only after the damage.
   HB_REQUIRE(!values.empty(), "cannot summarize an empty metric sample");
   MetricSummary out;
-  out.min = *std::min_element(values.begin(), values.end());
-  out.max = *std::max_element(values.begin(), values.end());
+  // Mean over the caller's order (before sorting) so the exact path stays
+  // bitwise identical to the historical per-session accumulation order.
   double acc = 0.0;
   for (double v : values) acc += v;
   out.mean = acc / static_cast<double>(values.size());
-  out.p50 = percentile(values, 50.0);
-  out.p90 = percentile(values, 90.0);
-  out.p99 = percentile(values, 99.0);
+  // One sort serves min, max, and all three percentile reads.
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  out.p50 = percentile_sorted(values, 50.0);
+  out.p90 = percentile_sorted(values, 90.0);
+  out.p99 = percentile_sorted(values, 99.0);
   return out;
 }
 
-FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
-                             double wall_seconds,
-                             const SharedSolutionPoolStats& pool,
-                             const edgesvc::EdgeFleetStats* edge) {
-  FleetMetrics out;
-  out.sessions = sessions.size();
+void StreamingSummary::add(double x) {
+  stat_.add(x);
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+}
+
+MetricSummary StreamingSummary::summary() const {
+  MetricSummary out;
+  if (stat_.empty()) return out;
+  out.min = stat_.min();
+  out.max = stat_.max();
+  out.mean = stat_.mean();
+  out.p50 = p50_.value();
+  out.p90 = p90_.value();
+  out.p99 = p99_.value();
+  return out;
+}
+
+void FleetAccumulator::add(const SessionResult& s) {
+  ++count_;
+  if (mode_ == Mode::Exact) {
+    quality_.push_back(s.mean_quality);
+    eps_.push_back(s.mean_latency_ratio);
+    reward_.push_back(s.mean_reward);
+    watts_.push_back(s.mean_power_w);
+    temps_.push_back(s.max_die_temp_c);
+    drains_.push_back(s.battery_drain_pct_per_hour);
+  } else {
+    s_quality_.add(s.mean_quality);
+    s_eps_.add(s.mean_latency_ratio);
+    s_reward_.add(s.mean_reward);
+    s_watts_.add(s.mean_power_w);
+    s_temps_.add(s.max_die_temp_c);
+    s_drains_.add(s.battery_drain_pct_per_hour);
+  }
+  totals_.total_sim_seconds += s.sim_seconds;
+  totals_.total_activations += s.activations;
+  totals_.total_warm_starts += s.warm_starts;
+  totals_.total_shared_warm_starts += s.shared_warm_starts;
+  totals_.policy.prior_activations += s.prior_activations;
+  totals_.policy.bandit_pulls += s.bandit_pulls;
+  totals_.edge.requests += s.edge_requests;
+  totals_.edge.retries += s.edge_retries;
+  totals_.edge.rejected_attempts += s.edge_rejected_attempts;
+  totals_.edge.timeout_attempts += s.edge_timeout_attempts;
+  totals_.edge.fallbacks += s.edge_fallbacks;
+  totals_.edge.decim_fallbacks += s.edge_decim_fallbacks;
+  totals_.edge.bo_fallbacks += s.edge_bo_fallbacks;
+  // Power roll-up: a session that ran with a power model always draws at
+  // least the base system load, so energy > 0 identifies power-enabled
+  // fleets without an extra flag threading through the call chain. The
+  // sums accumulate unconditionally (per-field order matches the
+  // historical second pass) and are discarded at finalize if no session
+  // ever drew power.
+  any_power_ = any_power_ || s.energy_j > 0.0;
+  totals_.power.total_energy_j += s.energy_j;
+  totals_.power.throttle_events += s.throttle_events;
+  totals_.power.min_freq_scale =
+      std::min(totals_.power.min_freq_scale, s.min_freq_scale);
+  if (s.throttle_events > 0) ++throttled_sessions_;
+}
+
+FleetMetrics FleetAccumulator::finalize(
+    double wall_seconds, const SharedSolutionPoolStats& pool,
+    const edgesvc::EdgeFleetStats* edge) const {
+  FleetMetrics out = totals_;
+  out.sessions = count_;
+  out.streamed = mode_ == Mode::Streaming;
   out.wall_seconds = wall_seconds;
   out.pool = pool;
   if (edge != nullptr) {
@@ -39,63 +105,42 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
     out.edge.queue_depth_p95 = edge->server.queue_depth_p95();
     out.edge.mean_wait_ms = edge->server.mean_wait_s() * 1e3;
   }
-  if (sessions.empty()) return out;
-
-  std::vector<double> quality, eps, reward;
-  quality.reserve(sessions.size());
-  eps.reserve(sessions.size());
-  reward.reserve(sessions.size());
-  for (const SessionResult& s : sessions) {
-    quality.push_back(s.mean_quality);
-    eps.push_back(s.mean_latency_ratio);
-    reward.push_back(s.mean_reward);
-    out.total_sim_seconds += s.sim_seconds;
-    out.total_activations += s.activations;
-    out.total_warm_starts += s.warm_starts;
-    out.total_shared_warm_starts += s.shared_warm_starts;
-    out.policy.prior_activations += s.prior_activations;
-    out.policy.bandit_pulls += s.bandit_pulls;
-    out.edge.requests += s.edge_requests;
-    out.edge.retries += s.edge_retries;
-    out.edge.rejected_attempts += s.edge_rejected_attempts;
-    out.edge.timeout_attempts += s.edge_timeout_attempts;
-    out.edge.fallbacks += s.edge_fallbacks;
-    out.edge.decim_fallbacks += s.edge_decim_fallbacks;
-    out.edge.bo_fallbacks += s.edge_bo_fallbacks;
+  if (count_ == 0) {
+    // No sessions: zero roll-up (pool/edge context above still applies),
+    // matching the historical aggregate_fleet early return.
+    out.total_sim_seconds = 0.0;
+    out.power = FleetMetrics::PowerHealth{};
+    return out;
   }
-  out.quality = summarize_metric(quality);
-  out.latency_ratio = summarize_metric(eps);
-  out.reward = summarize_metric(reward);
 
-  // Power roll-up: a session that ran with a power model always draws at
-  // least the base system load, so energy > 0 identifies power-enabled
-  // fleets without an extra flag threading through the call chain.
-  bool any_power = false;
-  for (const SessionResult& s : sessions) any_power |= s.energy_j > 0.0;
-  if (any_power) {
+  if (mode_ == Mode::Exact) {
+    out.quality = summarize_metric(quality_);
+    out.latency_ratio = summarize_metric(eps_);
+    out.reward = summarize_metric(reward_);
+  } else {
+    out.quality = s_quality_.summary();
+    out.latency_ratio = s_eps_.summary();
+    out.reward = s_reward_.summary();
+  }
+
+  if (any_power_) {
     out.power.enabled = true;
-    std::vector<double> watts, temps, drains;
-    watts.reserve(sessions.size());
-    temps.reserve(sessions.size());
-    drains.reserve(sessions.size());
-    std::size_t throttled_sessions = 0;
-    for (const SessionResult& s : sessions) {
-      watts.push_back(s.mean_power_w);
-      temps.push_back(s.max_die_temp_c);
-      drains.push_back(s.battery_drain_pct_per_hour);
-      out.power.total_energy_j += s.energy_j;
-      out.power.throttle_events += s.throttle_events;
-      out.power.min_freq_scale =
-          std::min(out.power.min_freq_scale, s.min_freq_scale);
-      if (s.throttle_events > 0) ++throttled_sessions;
+    if (mode_ == Mode::Exact) {
+      out.power.mean_power_w = summarize_metric(watts_);
+      out.power.max_die_temp_c = summarize_metric(temps_);
+      out.power.drain_pct_per_hour = summarize_metric(drains_);
+    } else {
+      out.power.mean_power_w = s_watts_.summary();
+      out.power.max_die_temp_c = s_temps_.summary();
+      out.power.drain_pct_per_hour = s_drains_.summary();
     }
-    out.power.mean_power_w = summarize_metric(watts);
-    out.power.max_die_temp_c = summarize_metric(temps);
-    out.power.drain_pct_per_hour = summarize_metric(drains);
     out.power.throttled_session_fraction =
-        static_cast<double>(throttled_sessions) /
-        static_cast<double>(sessions.size());
+        static_cast<double>(throttled_sessions_) /
+        static_cast<double>(count_);
+  } else {
+    out.power = FleetMetrics::PowerHealth{};
   }
+
   if (out.total_activations > 0) {
     out.warm_start_rate = static_cast<double>(out.total_warm_starts) /
                           static_cast<double>(out.total_activations);
@@ -108,10 +153,18 @@ FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
         static_cast<double>(full_activations);
   }
   if (wall_seconds > 0.0) {
-    out.sessions_per_sec =
-        static_cast<double>(sessions.size()) / wall_seconds;
+    out.sessions_per_sec = static_cast<double>(count_) / wall_seconds;
   }
   return out;
+}
+
+FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
+                             double wall_seconds,
+                             const SharedSolutionPoolStats& pool,
+                             const edgesvc::EdgeFleetStats* edge) {
+  FleetAccumulator acc(FleetAccumulator::Mode::Exact);
+  for (const SessionResult& s : sessions) acc.add(s);
+  return acc.finalize(wall_seconds, pool, edge);
 }
 
 }  // namespace hbosim::fleet

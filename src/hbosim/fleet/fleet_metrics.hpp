@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "hbosim/common/stats.hpp"
 #include "hbosim/edgesvc/broker.hpp"
 #include "hbosim/fleet/shared_pool.hpp"
 
@@ -12,6 +13,14 @@
 /// only aggregates (not traces) so a multi-thousand-session fleet stays
 /// cheap to collect; FleetMetrics adds cross-session percentiles and the
 /// wall-clock throughput the scaling bench reports.
+///
+/// Two aggregation paths share one accumulator (`FleetAccumulator`):
+/// *exact* retains the per-session metric samples and reads percentiles
+/// from one sorted buffer per metric (the pre-streaming behaviour, bit
+/// for bit), while *streaming* feeds P² sketches so a 10^5–10^6-session
+/// fleet rolls up in O(1) memory per metric. Counters are exact in both.
+/// Streaming estimates are order-sensitive; the fleet feeds sessions in
+/// session-id order, which makes them thread-count invariant too.
 
 namespace hbosim::fleet {
 
@@ -76,6 +85,9 @@ struct MetricSummary {
 
 struct FleetMetrics {
   std::size_t sessions = 0;
+  /// True when the percentile summaries came from the streaming (P²)
+  /// path; min/mean/max and every counter are exact either way.
+  bool streamed = false;
   double total_sim_seconds = 0.0;
   double wall_seconds = 0.0;  ///< End-to-end fleet wall-clock.
   /// Simulated sessions finished per host second (the scaling figure of
@@ -147,12 +159,74 @@ struct FleetMetrics {
 };
 
 /// Summarize one metric sample (throws on empty input, like percentile()).
-MetricSummary summarize_metric(const std::vector<double>& values);
+/// Takes the sample by value: it is sorted once and p50/p90/p99 are read
+/// from the same sorted buffer.
+MetricSummary summarize_metric(std::vector<double> values);
 
-/// Roll per-session results up into fleet-wide metrics. `wall_seconds` is
-/// the end-to-end fleet run time (not the sum of per-session times, which
-/// overlap under multi-threading). Pass the broker's stats as `edge` when
-/// the fleet shared an edge service (null → edge health left zeroed).
+/// Streaming counterpart of summarize_metric: exact min/mean/max via a
+/// RunningStat, sketched p50/p90/p99 via one P² estimator each. O(1)
+/// memory regardless of sample count; estimates are feed-order sensitive.
+class StreamingSummary {
+ public:
+  void add(double x);
+  std::size_t count() const { return stat_.count(); }
+  /// Zero summary when empty (streaming fleets never throw on a metric
+  /// nothing fed — matches aggregate_fleet's empty-fleet behaviour).
+  MetricSummary summary() const;
+
+ private:
+  RunningStat stat_;
+  P2Quantile p50_{0.50};
+  P2Quantile p90_{0.90};
+  P2Quantile p99_{0.99};
+};
+
+/// One-pass fleet roll-up fed a SessionResult at a time, in session-id
+/// order. Mode Exact retains the six metric samples per session and
+/// reproduces the historical aggregate_fleet() output bit for bit; mode
+/// Streaming holds only sketches, so memory is independent of fleet size
+/// (the 10^5+-session path). Counters sum identically in both modes.
+class FleetAccumulator {
+ public:
+  enum class Mode { Exact, Streaming };
+
+  explicit FleetAccumulator(Mode mode) : mode_(mode) {}
+
+  /// Feed one completed session (call in session-id order for
+  /// deterministic streaming percentiles).
+  void add(const SessionResult& s);
+
+  std::size_t sessions() const { return count_; }
+
+  /// Produce the fleet-wide metrics. `wall_seconds` is the end-to-end
+  /// fleet run time; pass the broker's stats as `edge` when the fleet
+  /// shared an edge service (null → edge health left zeroed).
+  FleetMetrics finalize(double wall_seconds,
+                        const SharedSolutionPoolStats& pool = {},
+                        const edgesvc::EdgeFleetStats* edge = nullptr) const;
+
+ private:
+  Mode mode_;
+  std::size_t count_ = 0;
+  FleetMetrics totals_;  ///< Counter sums accumulated as sessions arrive.
+  bool any_power_ = false;
+  std::size_t throttled_sessions_ = 0;
+
+  // Mode Exact: retained samples, summarized (sort-once) at finalize.
+  std::vector<double> quality_, eps_, reward_;
+  std::vector<double> watts_, temps_, drains_;
+
+  // Mode Streaming: O(1) sketches.
+  StreamingSummary s_quality_, s_eps_, s_reward_;
+  StreamingSummary s_watts_, s_temps_, s_drains_;
+};
+
+/// Roll per-session results up into fleet-wide metrics — the exact path,
+/// implemented as a FleetAccumulator(Exact) pass over `sessions`.
+/// `wall_seconds` is the end-to-end fleet run time (not the sum of
+/// per-session times, which overlap under multi-threading). Pass the
+/// broker's stats as `edge` when the fleet shared an edge service (null →
+/// edge health left zeroed).
 FleetMetrics aggregate_fleet(const std::vector<SessionResult>& sessions,
                              double wall_seconds,
                              const SharedSolutionPoolStats& pool = {},

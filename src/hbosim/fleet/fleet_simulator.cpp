@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <utility>
 
+#include "hbosim/common/arena.hpp"
 #include "hbosim/common/error.hpp"
 #include "hbosim/common/rng.hpp"
 #include "hbosim/common/thread_pool.hpp"
@@ -36,6 +38,15 @@ const Entry& pick_weighted(const std::vector<Entry>& entries,
     if (u * total < acc) return e;
   }
   return entries.back();  // numerical edge: u*total == total
+}
+
+/// One bump arena per worker thread, recycled (reset, blocks kept) between
+/// the sessions that worker runs. Thread-lifetime, not session-lifetime:
+/// the steady-state fleet loop performs zero heap allocations for DES
+/// state once each worker's arena has grown to its session high-water mark.
+Arena& session_arena() {
+  static thread_local Arena arena;
+  return arena;
 }
 
 }  // namespace
@@ -117,6 +128,26 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
 }
 
 PolicySessionOutput FleetSimulator::run_policy_session(
+    const SessionSpec& spec,
+    std::shared_ptr<const policy::PriorSnapshot> priors,
+    std::shared_ptr<const policy::LinUcbBandit> bandit) const {
+  if (!spec_.use_session_arena) {
+    return run_policy_session_impl(spec, std::move(priors), std::move(bandit));
+  }
+  Arena& arena = session_arena();
+  PolicySessionOutput out;
+  {
+    // Everything the session allocates through ArenaAllocator (event
+    // queue, traces, lookup table) lands in this worker's arena; the
+    // output below is plain-allocator and safely outlives the reset.
+    ArenaScope scope(arena);
+    out = run_policy_session_impl(spec, std::move(priors), std::move(bandit));
+  }
+  arena.reset();  // recycle the blocks for this worker's next session
+  return out;
+}
+
+PolicySessionOutput FleetSimulator::run_policy_session_impl(
     const SessionSpec& spec,
     std::shared_ptr<const policy::PriorSnapshot> priors,
     std::shared_ptr<const policy::LinUcbBandit> bandit) const {
@@ -295,22 +326,45 @@ FleetResult FleetSimulator::run() {
   const auto t0 = std::chrono::steady_clock::now();
 
   FleetResult out;
-  out.sessions.reserve(spec_.sessions);
+  FleetAccumulator acc(spec_.retain_results
+                           ? FleetAccumulator::Mode::Exact
+                           : FleetAccumulator::Mode::Streaming);
+  if (spec_.retain_results) out.sessions.reserve(spec_.sessions);
+
+  // Every completed session flows through here on the main thread, in
+  // session-id order — which keeps the streaming percentiles (and any
+  // on_progress heartbeat) deterministic regardless of worker scheduling.
+  auto consume = [this, &out, &acc, t0](SessionResult r) {
+    acc.add(r);
+    if (spec_.retain_results) out.sessions.push_back(std::move(r));
+    if (spec_.progress_every != 0 && spec_.on_progress &&
+        acc.sessions() % spec_.progress_every == 0) {
+      spec_.on_progress(
+          FleetProgress{acc.sessions(), spec_.sessions, seconds_since(t0)});
+    }
+  };
 
   if (spec_.policy.mode == PolicyMode::Off) {
-    std::vector<std::future<SessionResult>> futures;
-    futures.reserve(spec_.sessions);
-    {
-      ThreadPool workers(threads);
-      for (std::size_t id = 0; id < spec_.sessions; ++id) {
-        futures.push_back(workers.submit(
-            [this, spec = session_spec(id)] { return run_session(spec); }));
+    // Bounded in-flight window: submit ahead of consumption by enough to
+    // keep every worker fed, but consume (in id order) as futures at the
+    // window's head complete, so retained memory is O(threads) — not
+    // O(sessions) — when results aren't being kept. get() rethrows any
+    // session failure to the caller.
+    ThreadPool workers(threads);
+    const std::size_t window = std::max<std::size_t>(threads * 8, 64);
+    std::deque<std::future<SessionResult>> inflight;
+    for (std::size_t id = 0; id < spec_.sessions; ++id) {
+      if (inflight.size() >= window) {
+        consume(inflight.front().get());
+        inflight.pop_front();
       }
-      // ThreadPool drains on destruction; collecting via get() below also
-      // rethrows any session failure to the caller.
+      inflight.push_back(workers.submit(
+          [this, spec = session_spec(id)] { return run_session(spec); }));
     }
-    for (std::future<SessionResult>& f : futures)
-      out.sessions.push_back(f.get());
+    while (!inflight.empty()) {
+      consume(inflight.front().get());
+      inflight.pop_front();
+    }
   } else {
     // Epoch loop: every epoch freezes the learner's state, runs its
     // sessions concurrently against the frozen artifact, then feeds the
@@ -348,7 +402,7 @@ FleetResult FleetSimulator::run() {
           for (const policy::Experience& e : o.experiences)
             bandit_->update(e.arm, e.context, e.reward);
         }
-        out.sessions.push_back(std::move(o.result));
+        consume(std::move(o.result));
       }
       ++policy_epochs_;
       HB_TELEM_COUNT("fleet.policy_epochs", 1.0);
@@ -359,8 +413,8 @@ FleetResult FleetSimulator::run() {
       pool_ ? pool_->stats() : SharedSolutionPoolStats{};
   const edgesvc::EdgeFleetStats edge_stats =
       broker_ ? broker_->stats() : edgesvc::EdgeFleetStats{};
-  out.metrics = aggregate_fleet(out.sessions, seconds_since(t0), pool_stats,
-                                broker_ ? &edge_stats : nullptr);
+  out.metrics = acc.finalize(seconds_since(t0), pool_stats,
+                             broker_ ? &edge_stats : nullptr);
   if (spec_.policy.mode != PolicyMode::Off) {
     FleetMetrics::PolicyHealth& ph = out.metrics.policy;
     ph.enabled = true;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,13 @@ enum class PolicyMode {
   Bandit,  ///< Sessions run the LinUCB agent instead of HBO.
 };
 
+/// Live progress of a running fleet, handed to FleetSpec::on_progress.
+struct FleetProgress {
+  std::size_t completed = 0;     ///< Sessions rolled up so far.
+  std::size_t sessions = 0;      ///< Total sessions in the fleet.
+  double wall_seconds = 0.0;     ///< Elapsed since run() started.
+};
+
 struct FleetPolicyConfig {
   PolicyMode mode = PolicyMode::Off;
   /// Sessions per learning epoch: every epoch reads one frozen artifact,
@@ -115,6 +123,30 @@ struct FleetSpec {
   /// seed field is overridden from the session seed).
   power::PowerConfig power;
 
+  /// Keep every SessionResult in FleetResult::sessions (the historical
+  /// behaviour — this path is bitwise unchanged). With false, the fleet
+  /// rolls results up through the streaming accumulator as they complete:
+  /// FleetResult::sessions stays empty, retained memory is O(threads)
+  /// instead of O(sessions) (completed futures are consumed from a bounded
+  /// in-flight window, in session-id order), and metric percentiles come
+  /// from P² sketches while every counter stays exact. This is the
+  /// 10^5–10^6-session path.
+  bool retain_results = true;
+
+  /// Back each session's DES state (event queue, trace buffers, lookup
+  /// table) with a per-worker bump arena that is reset between sessions on
+  /// the same worker, so a long fleet run performs O(1) heap allocations
+  /// per worker for that state instead of O(events) per session. Results
+  /// are bit-identical either way (an allocator changes addresses, never
+  /// values); the switch exists for A/B tests and as an escape hatch.
+  bool use_session_arena = true;
+
+  /// Invoke `on_progress` (on the main thread, inside run()) every this
+  /// many completed sessions; 0 disables. Used by fleet_demo --stream for
+  /// throughput/RSS heartbeats on multi-minute mega fleets.
+  std::size_t progress_every = 0;
+  std::function<void(const FleetProgress&)> on_progress;
+
   /// Throws hbosim::Error on nonsense (no sessions, negative weights, ...).
   void validate() const;
 };
@@ -131,7 +163,9 @@ struct SessionSpec {
 };
 
 struct FleetResult {
-  std::vector<SessionResult> sessions;  ///< Ordered by session_id.
+  /// Ordered by session_id; empty when FleetSpec::retain_results is false
+  /// (the streaming path keeps only the roll-up in `metrics`).
+  std::vector<SessionResult> sessions;
   FleetMetrics metrics;
 };
 
@@ -188,6 +222,13 @@ class FleetSimulator {
   const policy::LinUcbBandit* bandit() const { return bandit_.get(); }
 
  private:
+  /// The session body; run_policy_session wraps it in the per-worker
+  /// ArenaScope when FleetSpec::use_session_arena is set.
+  PolicySessionOutput run_policy_session_impl(
+      const SessionSpec& spec,
+      std::shared_ptr<const policy::PriorSnapshot> priors,
+      std::shared_ptr<const policy::LinUcbBandit> bandit) const;
+
   FleetSpec spec_;
   std::unique_ptr<SharedSolutionPool> pool_;
   std::unique_ptr<edgesvc::EdgeBroker> broker_;

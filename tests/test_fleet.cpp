@@ -108,6 +108,7 @@ TEST(SharedSolutionPool, FetchPublishCountersAndCollisionPolicy) {
 TEST(SharedSolutionPool, EvictsLeastRecentlyUsedAtCapacity) {
   fleet::SharedSolutionPoolConfig cfg;
   cfg.capacity = 2;
+  cfg.shards = 1;  // one stripe -> one global LRU order to script against
   fleet::SharedSolutionPool pool(cfg);
   fleet::PoolKey a{"d", "s", {1, 0, 0}};
   fleet::PoolKey b{"d", "s", {2, 0, 0}};
@@ -129,6 +130,7 @@ TEST(SharedSolutionPool, EvictsLeastRecentlyUsedAtCapacity) {
 TEST(SharedSolutionPool, InterleavedFetchPublishEvictionOrderIsDeterministic) {
   fleet::SharedSolutionPoolConfig cfg;
   cfg.capacity = 3;
+  cfg.shards = 1;  // one stripe -> one global LRU order to script against
   fleet::SharedSolutionPool pool(cfg);
   auto key = [](std::uint64_t i) {
     return fleet::PoolKey{"d", "s", {i, 0, 0}};
@@ -196,6 +198,65 @@ TEST(SharedSolutionPool, ConcurrentFetchPublishSmoke) {
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<std::uint64_t>(kThreads) * kOpsPerThread -
                 stats.stores);
+}
+
+// The sharded-stats contract, exercised under TSan by the CI sanitizer
+// job: after concurrent traffic, the aggregated stats() equal the
+// field-wise sum of every shard's own counters, and the lock telemetry
+// accounts for exactly one acquisition per fetch/publish.
+TEST(SharedSolutionPool, ShardedStatsMatchShardTraffic) {
+  fleet::SharedSolutionPoolConfig cfg;
+  cfg.capacity = 32;
+  cfg.shards = 4;
+  fleet::SharedSolutionPool pool(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 400;
+  constexpr std::uint64_t kKeys = 48;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const fleet::PoolKey key{
+            "d", "s", {static_cast<std::uint64_t>((t * 5 + i) % kKeys), 0, 0}};
+        if (i % 4 == 0) {
+          pool.publish(key, {{0.5, 0.5, 0.0, 0.8}, -1.0 - 0.001 * i});
+        } else {
+          pool.fetch(key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_EQ(pool.shard_count(), 4u);
+  fleet::SharedSolutionPoolStats summed;
+  for (std::size_t s = 0; s < pool.shard_count(); ++s) {
+    const fleet::SharedSolutionPoolStats shard = pool.shard_stats(s);
+    summed.size += shard.size;
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.stores += shard.stores;
+    summed.evictions += shard.evictions;
+    summed.lock_acquisitions += shard.lock_acquisitions;
+    summed.lock_contentions += shard.lock_contentions;
+  }
+  const fleet::SharedSolutionPoolStats total = pool.stats();
+  EXPECT_EQ(total.shards, 4u);
+  EXPECT_EQ(total.size, summed.size);
+  EXPECT_EQ(total.hits, summed.hits);
+  EXPECT_EQ(total.misses, summed.misses);
+  EXPECT_EQ(total.stores, summed.stores);
+  EXPECT_EQ(total.evictions, summed.evictions);
+  EXPECT_EQ(total.lock_acquisitions, summed.lock_acquisitions);
+  EXPECT_EQ(total.lock_contentions, summed.lock_contentions);
+  // One lock acquisition per operation, no more, no fewer (stats reads
+  // must not perturb the telemetry they report).
+  constexpr std::uint64_t kOps =
+      static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+  EXPECT_EQ(total.lock_acquisitions, kOps);
+  EXPECT_LE(total.lock_contentions, total.lock_acquisitions);
+  EXPECT_EQ(total.hits + total.misses + total.stores, kOps);
 }
 
 // SolutionLookupTable::replace under an interleaved fetch/store sequence:
@@ -351,6 +412,124 @@ TEST(FleetMetrics, AggregateComputesPercentilesAndThroughput) {
   EXPECT_DOUBLE_EQ(m.quality.p90, 0.86);
   EXPECT_DOUBLE_EQ(m.warm_start_rate, 0.5);
   EXPECT_EQ(m.total_activations, 10u);
+}
+
+// retain_results=false must agree with the exact path: counters and
+// min/mean/max bitwise (both are exact sums in the same order), sketched
+// percentiles within the P² tolerance — and it must not keep per-session
+// results around.
+TEST(FleetSimulator, StreamingAgreesWithExactAggregation) {
+  fleet::FleetSpec exact_spec = fast_fleet(48, 2);
+  fleet::FleetSpec stream_spec = exact_spec;
+  stream_spec.retain_results = false;
+  const fleet::FleetResult exact = fleet::FleetSimulator(exact_spec).run();
+  const fleet::FleetResult stream = fleet::FleetSimulator(stream_spec).run();
+
+  EXPECT_EQ(exact.sessions.size(), 48u);
+  EXPECT_TRUE(stream.sessions.empty());
+  EXPECT_FALSE(exact.metrics.streamed);
+  EXPECT_TRUE(stream.metrics.streamed);
+
+  const fleet::FleetMetrics& a = exact.metrics;
+  const fleet::FleetMetrics& b = stream.metrics;
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.total_activations, b.total_activations);
+  EXPECT_EQ(a.total_warm_starts, b.total_warm_starts);
+  EXPECT_EQ(a.total_sim_seconds, b.total_sim_seconds);
+  for (auto field : {&fleet::FleetMetrics::quality,
+                     &fleet::FleetMetrics::latency_ratio,
+                     &fleet::FleetMetrics::reward}) {
+    const fleet::MetricSummary& ea = a.*field;
+    const fleet::MetricSummary& eb = b.*field;
+    EXPECT_EQ(ea.min, eb.min);
+    // Exact path sums naively, streaming uses Welford: same order, same
+    // value up to rounding.
+    EXPECT_NEAR(ea.mean, eb.mean, 1e-12);
+    EXPECT_EQ(ea.max, eb.max);
+    // Sketched percentiles land within the metric's observed range and
+    // near the exact values (generous: 48 samples is small for P²).
+    const double span = ea.max - ea.min + 1e-12;
+    EXPECT_NEAR(ea.p50, eb.p50, 0.25 * span);
+    EXPECT_NEAR(ea.p90, eb.p90, 0.25 * span);
+    EXPECT_NEAR(ea.p99, eb.p99, 0.25 * span);
+    EXPECT_GE(eb.p50, ea.min);
+    EXPECT_LE(eb.p99, ea.max);
+  }
+}
+
+// The streaming path inherits the fleet determinism guarantee: sessions
+// are rolled up in session-id order no matter which worker finished
+// first, so a pool-disabled streaming fleet's metrics are bit-identical
+// on 1 thread and on several threads (wall-clock fields excluded).
+TEST(FleetSimulator, StreamingMetricsAreThreadCountInvariant) {
+  auto stream_fleet = [](std::size_t threads) {
+    fleet::FleetSpec spec = fast_fleet(48, threads);
+    spec.retain_results = false;
+    return spec;
+  };
+  const fleet::FleetMetrics a =
+      fleet::FleetSimulator(stream_fleet(1)).run().metrics;
+  const fleet::FleetMetrics b =
+      fleet::FleetSimulator(stream_fleet(4)).run().metrics;
+
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.total_activations, b.total_activations);
+  EXPECT_EQ(a.total_warm_starts, b.total_warm_starts);
+  EXPECT_EQ(a.total_sim_seconds, b.total_sim_seconds);
+  for (auto field : {&fleet::FleetMetrics::quality,
+                     &fleet::FleetMetrics::latency_ratio,
+                     &fleet::FleetMetrics::reward}) {
+    EXPECT_EQ((a.*field).min, (b.*field).min);
+    EXPECT_EQ((a.*field).mean, (b.*field).mean);
+    EXPECT_EQ((a.*field).p50, (b.*field).p50);
+    EXPECT_EQ((a.*field).p90, (b.*field).p90);
+    EXPECT_EQ((a.*field).p99, (b.*field).p99);
+    EXPECT_EQ((a.*field).max, (b.*field).max);
+  }
+}
+
+// The session arena is a pure allocation strategy: switching it off must
+// not change a single bit of any session's trajectory.
+TEST(FleetSimulator, ArenaOffMatchesArenaOn) {
+  fleet::FleetSpec on_spec = fast_fleet(16, 2);
+  fleet::FleetSpec off_spec = on_spec;
+  off_spec.use_session_arena = false;
+  const fleet::FleetResult on = fleet::FleetSimulator(on_spec).run();
+  const fleet::FleetResult off = fleet::FleetSimulator(off_spec).run();
+
+  ASSERT_EQ(on.sessions.size(), off.sessions.size());
+  for (std::size_t i = 0; i < on.sessions.size(); ++i) {
+    const fleet::SessionResult& a = on.sessions[i];
+    const fleet::SessionResult& b = off.sessions[i];
+    EXPECT_EQ(a.mean_quality, b.mean_quality) << "session " << i;
+    EXPECT_EQ(a.mean_latency_ratio, b.mean_latency_ratio) << "session " << i;
+    EXPECT_EQ(a.mean_reward, b.mean_reward) << "session " << i;
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds) << "session " << i;
+    EXPECT_EQ(a.activations, b.activations) << "session " << i;
+    EXPECT_EQ(a.periods, b.periods) << "session " << i;
+  }
+}
+
+// progress_every fires on the main thread at exact completion multiples,
+// in order, with a monotone wall clock.
+TEST(FleetSimulator, ProgressCallbackFiresAtConfiguredInterval) {
+  fleet::FleetSpec spec = fast_fleet(32, 2);
+  spec.retain_results = false;
+  spec.progress_every = 8;
+  std::vector<fleet::FleetProgress> ticks;
+  spec.on_progress = [&ticks](const fleet::FleetProgress& p) {
+    ticks.push_back(p);
+  };
+  fleet::FleetSimulator(spec).run();
+
+  ASSERT_EQ(ticks.size(), 4u);
+  double last_wall = -1.0;
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i].completed, 8 * (i + 1));
+    EXPECT_EQ(ticks[i].sessions, 32u);
+    EXPECT_GE(ticks[i].wall_seconds, last_wall);
+    last_wall = ticks[i].wall_seconds;
+  }
 }
 
 TEST(FleetMetrics, PercentileHelperInterpolates) {
