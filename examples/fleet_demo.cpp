@@ -38,6 +38,20 @@
 //                          read the frozen artifact trained on everything
 //                          before them.
 //
+//   --sched                scheduler forensics (des::SchedAnalyzer): every
+//                          session records a per-job lifecycle trace, the
+//                          fleet prints the SchedHealth roll-up (worst p99
+//                          slowdown, fairness floor, starvation count), and
+//                          the worst session is deterministically re-run to
+//                          print its full forensics report. Tracing changes
+//                          no simulated result. Disables the shared solution
+//                          pool: pool warm starts depend on completion order
+//                          (see fleet_simulator.hpp), and the deep-dive
+//                          re-run must reproduce the fleet's trajectory
+//                          bit for bit.
+//   --gantt <file.csv>     with --sched: write the re-run worst session's
+//                          per-job Gantt timeline as CSV.
+//
 //   --sessions N           fleet size (default 24). Large fleets (> 96
 //                          sessions) switch to a fast session profile
 //                          (shorter duration, truncated activations) so a
@@ -71,7 +85,9 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool use_edge = false;
   bool use_power = false;
+  bool use_sched = false;
   bool stream = false;
+  std::string gantt_path;
   std::size_t sessions_override = 0;
   std::string edge_preset = "wifi";
   std::string policy_mode = "off";
@@ -94,6 +110,10 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
     } else if (arg == "--power") {
       use_power = true;
+    } else if (arg == "--sched") {
+      use_sched = true;
+    } else if (arg == "--gantt" && i + 1 < argc) {
+      gantt_path = argv[++i];
     } else if (arg == "--policy") {
       policy_mode = "prior";
       if (i + 1 < argc && argv[i + 1][0] != '-') policy_mode = argv[++i];
@@ -106,6 +126,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
                    " [--edge [lan|wifi|congested]] [--power]"
+                   " [--sched] [--gantt out.csv]"
                    " [--policy [prior|bandit|off]]"
                    " [--sessions N] [--stream]\n";
       return 2;
@@ -173,6 +194,12 @@ int main(int argc, char** argv) {
                 << current_rss_bytes() / (1 << 20) << " MB (peak "
                 << peak_rss_bytes() / (1 << 20) << " MB)\n";
     };
+  }
+  if (use_sched) {
+    spec.sched.enabled = true;
+    // Pool warm starts depend on worker completion order, which would
+    // make the worst-session re-run below diverge from the fleet run.
+    spec.use_shared_pool = false;
   }
   if (use_power) {
     spec.use_power_model = true;
@@ -262,6 +289,20 @@ int main(int argc, char** argv) {
               << std::setprecision(3);
   }
 
+  if (m.sched.enabled) {
+    std::cout << "  sched: " << m.sched.jobs << " jobs from "
+              << m.sched.events << " lifecycle events ("
+              << m.sched.dropped_events << " dropped)\n"
+              << "         worst p99 slowdown " << std::setprecision(2)
+              << m.sched.worst_p99_slowdown << " (p50 over sessions "
+              << m.sched.p99_slowdown.p50 << "), fairness floor "
+              << std::setprecision(3) << m.sched.fairness_floor << ", "
+              << m.sched.starved_jobs << " starved jobs across "
+              << std::setprecision(0)
+              << m.sched.starved_session_fraction * 100.0
+              << "% of sessions\n" << std::setprecision(3);
+  }
+
   if (m.policy.enabled) {
     std::cout << "  policy (" << m.policy.mode << "): " << m.policy.epochs
               << " epochs of " << spec.policy.epoch_sessions << " sessions";
@@ -309,6 +350,37 @@ int main(int argc, char** argv) {
                 << "  warm (epoch " << epochs - 1 << ") mean_B=" << warm_reward
                 << "  delta=" << warm_reward - cold_reward << "\n";
       }
+  }
+
+  if (use_sched) {
+    // Deep dive: re-run the worst session (highest p99 slowdown; session 0
+    // under --stream, where per-session results are not retained) with a
+    // fresh trace. Sessions are pure functions of (spec, seed), so the
+    // re-run reproduces the fleet's trajectory bit for bit.
+    std::size_t worst = 0;
+    for (const fleet::SessionResult& s : result.sessions) {
+      if (s.sched_worst_p99_slowdown >
+          result.sessions[worst].sched_worst_p99_slowdown) {
+        worst = s.session_id;
+      }
+    }
+    des::SchedTrace trace(spec.sched);
+    simulator.run_session_traced(simulator.session_spec(worst), trace);
+    des::SchedAnalyzer analysis(trace, spec.sched_analysis);
+    const fleet::SessionSpec ws = simulator.session_spec(worst);
+    std::cout << "\nWorst session " << worst << " (" << ws.device << ", "
+              << ws.scenario_name() << "), re-run deterministically:\n";
+    analysis.print_report(std::cout);
+    if (!gantt_path.empty()) {
+      std::ofstream os(gantt_path);
+      if (!os) {
+        std::cerr << "cannot open " << gantt_path << " for writing\n";
+        return 1;
+      }
+      analysis.write_gantt_csv(os);
+      std::cout << "Gantt timeline (" << analysis.jobs().size()
+                << " jobs) -> " << gantt_path << "\n";
+    }
   }
 
   if (telem) {

@@ -119,7 +119,8 @@ void InferenceEngine::run_next_phase(TaskId id) {
     const double demand = phase.seconds * st.noise_factor;
     st.active_unit = phase.unit;
     st.active_job = soc_.unit(phase.unit).submit(
-        demand, phase.cores, [this, id, epoch] { on_phase_done(id, epoch); });
+        demand, phase.cores, [this, id, epoch] { on_phase_done(id, epoch); },
+        st.span_name);  // job class for sched forensics: "model@delegate"
   }
 }
 

@@ -29,12 +29,50 @@ PsResource::PsResource(Simulator& sim, std::string name, double capacity,
 }
 
 void PsResource::trace_depth() const {
-  // Sample 1 in 16 depth changes: per-change emission floods the ring on
-  // inference-heavy runs without adding information to the depth series.
-  if ((++trace_decimator_ & 0xFu) != 0) return;
+  // Sample 1 in `trace_decimation_` depth changes (default 16): per-change
+  // emission floods the ring on inference-heavy runs without adding
+  // information to the depth series. Decimation 1 records every change —
+  // exact counters for scheduler forensics.
+  if (trace_decimation_ > 1 && (++trace_decimator_ % trace_decimation_) != 0)
+    return;
   telemetry::counter("ps", traced_jobs_name_,
                      static_cast<double>(jobs_.size()));
   telemetry::counter("ps", traced_cores_name_, requested_cores_);
+}
+
+void PsResource::set_trace_decimation(std::uint32_t every) {
+  HB_REQUIRE(every >= 1, "trace decimation must be >= 1");
+  trace_decimation_ = every;
+}
+
+SchedTrace* PsResource::sched() const {
+  SchedTrace* trace = sim_.sched_trace();
+  if (trace == nullptr) return nullptr;
+  if (trace != sched_trace_) {
+    // First event under this trace: register our per-resource stream.
+    sched_trace_ = trace;
+    sched_resource_ = trace->register_resource(name_);
+  }
+  return trace;
+}
+
+void PsResource::sched_record(SchedTrace& trace, SchedEventKind kind,
+                              JobId job, const char* cls, double demand,
+                              double cores, double solo_rate) const {
+  SchedEvent ev;
+  ev.time = sim_.now();
+  ev.kind = kind;
+  ev.resource = sched_resource_;
+  ev.job = job;
+  ev.cls = cls;
+  ev.demand = demand;
+  ev.cores = cores;
+  // The per-job rate now in effect — callers record *after* reschedule(),
+  // which is what makes the stream exactly replayable (sched_trace.hpp).
+  ev.share = current_rate_;
+  ev.solo_rate = solo_rate;
+  ev.active_jobs = static_cast<std::uint32_t>(jobs_.size());
+  trace.record(ev);
 }
 
 double PsResource::shared_rate(double total_cores) const {
@@ -84,10 +122,16 @@ void PsResource::on_completion_event() {
   // Collect everything that is done before invoking callbacks: a callback
   // may submit new work to this same resource (pipelined phases), so the
   // internal state must be consistent first.
-  std::vector<Completion> finished;
+  struct Finished {
+    JobId id;
+    const char* cls;
+    Completion done;
+  };
+  std::vector<Finished> finished;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->second.remaining <= kEpsilon) {
-      finished.push_back(std::move(it->second.done));
+      finished.push_back(
+          Finished{it->first, it->second.cls, std::move(it->second.done)});
       requested_cores_ -= it->second.cores;
       it = jobs_.erase(it);
     } else {
@@ -96,20 +140,36 @@ void PsResource::on_completion_event() {
   }
   if (jobs_.empty()) requested_cores_ = 0.0;  // absorb fp residue
   reschedule();
+  if (SchedTrace* trace = sched()) {
+    // Record completions before the callbacks run: a callback's re-submit
+    // lands after them in the stream, matching simulated causality.
+    for (const Finished& f : finished)
+      sched_record(*trace, SchedEventKind::Complete, f.id, f.cls, 0.0, 0.0,
+                   0.0);
+  }
   if (telemetry::enabled() && !finished.empty()) trace_depth();
-  for (auto& done : finished) {
-    if (done) done();
+  for (auto& f : finished) {
+    if (f.done) f.done();
   }
 }
 
-JobId PsResource::submit(double demand, double cores, Completion done) {
+JobId PsResource::submit(double demand, double cores, Completion done,
+                         const char* cls) {
   HB_REQUIRE(demand >= 0.0, "job demand must be non-negative");
   HB_REQUIRE(cores > 0.0, "job must request positive cores");
   advance_progress();
   const JobId id = next_job_id_++;
-  jobs_.emplace(id, Job{std::max(demand, kEpsilon), cores, std::move(done)});
+  const double effective = std::max(demand, kEpsilon);
+  jobs_.emplace(id, Job{effective, effective, cores, cls, std::move(done)});
   requested_cores_ += cores;
   reschedule();
+  if (SchedTrace* trace = sched()) {
+    // Admission doubles as start-of-service under processor sharing.
+    // solo_rate: what this job would get on the otherwise-empty resource
+    // (its contention-free ideal), at the background level it saw.
+    sched_record(*trace, SchedEventKind::Submit, id, cls, effective, cores,
+                 shared_rate(cores));
+  }
   if (telemetry::enabled()) {
     HB_TELEM_COUNT("ps.jobs_submitted", 1.0);
     trace_depth();
@@ -117,8 +177,8 @@ JobId PsResource::submit(double demand, double cores, Completion done) {
   return id;
 }
 
-JobId PsResource::submit(double demand, Completion done) {
-  return submit(demand, 1.0, std::move(done));
+JobId PsResource::submit(double demand, Completion done, const char* cls) {
+  return submit(demand, 1.0, std::move(done), cls);
 }
 
 bool PsResource::cancel(JobId id) {
@@ -126,9 +186,12 @@ bool PsResource::cancel(JobId id) {
   if (it == jobs_.end()) return false;
   advance_progress();
   requested_cores_ -= it->second.cores;
+  const char* cls = it->second.cls;
   jobs_.erase(it);
   if (jobs_.empty()) requested_cores_ = 0.0;
   reschedule();
+  if (SchedTrace* trace = sched())
+    sched_record(*trace, SchedEventKind::Cancel, id, cls, 0.0, 0.0, 0.0);
   return true;
 }
 
@@ -149,6 +212,8 @@ void PsResource::set_capacity(double capacity) {
   advance_progress();
   capacity_ = capacity;
   reschedule();
+  if (SchedTrace* trace = sched())
+    sched_record(*trace, SchedEventKind::Rescale, 0, nullptr, 0.0, 0.0, 0.0);
 }
 
 void PsResource::set_max_rate_per_job(double max_rate) {
@@ -157,6 +222,8 @@ void PsResource::set_max_rate_per_job(double max_rate) {
   advance_progress();
   max_rate_per_job_ = max_rate;
   reschedule();
+  if (SchedTrace* trace = sched())
+    sched_record(*trace, SchedEventKind::Rescale, 0, nullptr, 0.0, 0.0, 0.0);
 }
 
 void PsResource::set_background_utilization(double u) {
@@ -166,6 +233,8 @@ void PsResource::set_background_utilization(double u) {
   advance_progress();
   background_ = clamped;
   reschedule();
+  if (SchedTrace* trace = sched())
+    sched_record(*trace, SchedEventKind::Rescale, 0, nullptr, 0.0, 0.0, 0.0);
 }
 
 void PsResource::set_max_background(double u) {

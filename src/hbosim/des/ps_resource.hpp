@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "hbosim/des/sched_trace.hpp"
 #include "hbosim/des/simulator.hpp"
 
 /// \file ps_resource.hpp
@@ -73,8 +74,14 @@ class PsResource {
   /// sum of requested cores exceeds the available capacity every job
   /// slows down by the same factor. `done` is invoked (once) when the job
   /// completes. Returns a handle for cancel().
-  JobId submit(double demand, double cores, Completion done);
-  JobId submit(double demand, Completion done);
+  ///
+  /// `cls` optionally tags the job with a class for scheduler forensics
+  /// (the AI engine passes its interned "model@delegate" span name). The
+  /// pointer is stored as-is — it must outlive the job — and is only ever
+  /// read by an attached SchedTrace; it has no effect on scheduling.
+  JobId submit(double demand, double cores, Completion done,
+               const char* cls = nullptr);
+  JobId submit(double demand, Completion done, const char* cls = nullptr);
 
   /// Cancel an in-flight job; returns false if it already completed.
   bool cancel(JobId id);
@@ -100,10 +107,19 @@ class PsResource {
   /// Total rate-1 seconds of work completed so far (for utilization stats).
   double work_done() const { return work_done_; }
 
+  /// Depth/core telemetry counters sample 1 in `every` changes (default
+  /// 16; see trace_depth()). 1 records every change — exact counters,
+  /// what sched forensics wants when lining the depth series up against
+  /// the lifecycle event stream. Telemetry-only: never affects scheduling.
+  void set_trace_decimation(std::uint32_t every);
+  std::uint32_t trace_decimation() const { return trace_decimation_; }
+
  private:
   struct Job {
     double remaining;  // seconds of rate-1 service left
+    double demand;     // seconds of rate-1 service requested at submit
     double cores;      // capacity units held while running
+    const char* cls;   // forensics class tag (may be null)
     Completion done;
   };
 
@@ -119,11 +135,22 @@ class PsResource {
   /// (no-op without an active session).
   void trace_depth() const;
 
+  /// The Simulator's attached SchedTrace, or null. Registers this
+  /// resource's stream on first sight of a given trace.
+  SchedTrace* sched() const;
+  /// Record one lifecycle event (call only with sched() != null).
+  void sched_record(SchedTrace& trace, SchedEventKind kind, JobId job,
+                    const char* cls, double demand, double cores,
+                    double solo_rate) const;
+
   Simulator& sim_;
   std::string name_;
   const char* traced_jobs_name_;   ///< Interned "<name>.active_jobs".
   const char* traced_cores_name_;  ///< Interned "<name>.requested_cores".
   mutable std::uint32_t trace_decimator_ = 0;
+  std::uint32_t trace_decimation_ = 16;
+  mutable SchedTrace* sched_trace_ = nullptr;   ///< Last trace registered with.
+  mutable std::uint16_t sched_resource_ = 0;    ///< Our stream id in it.
   double capacity_;
   double max_rate_per_job_;
   double background_ = 0.0;

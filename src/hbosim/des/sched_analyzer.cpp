@@ -1,0 +1,428 @@
+#include "hbosim/des/sched_analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "hbosim/common/stats.hpp"
+#include "hbosim/common/table.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
+
+namespace hbosim::des {
+
+namespace {
+
+constexpr const char* kUntagged = "(untagged)";
+
+/// Service below this (seconds of rate-1 work in a window) is floating-
+/// point residue from clamped accrual, not real attained service.
+constexpr double kServiceEps = 1e-12;
+
+LatencyDist summarize_dist(std::vector<double> values) {
+  LatencyDist out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  out.mean = acc / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  out.max = values.back();
+  out.p50 = percentile_sorted(values, 50.0);
+  out.p95 = percentile_sorted(values, 95.0);
+  out.p99 = percentile_sorted(values, 99.0);
+  return out;
+}
+
+double jain_index(const std::map<std::string, double>& service) {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& [cls, x] : service) {
+    if (x <= kServiceEps) continue;
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n == 0 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+/// Replay bookkeeping for one in-service job.
+struct LiveJob {
+  const char* cls = nullptr;
+  double demand = 0.0;
+  double cores = 0.0;
+  double submit_s = 0.0;
+  double solo_rate = 0.0;
+  double remaining = 0.0;
+};
+
+}  // namespace
+
+SchedAnalyzer::SchedAnalyzer(const SchedTrace& trace, SchedAnalyzerConfig cfg)
+    : cfg_(cfg) {
+  health_.events = trace.total_recorded();
+  health_.dropped_events = trace.total_dropped();
+  replay(trace);
+  summarize();
+  detect_starvation();
+  health_.jobs = 0;
+  for (const SchedResourceStats& r : resources_) health_.jobs += r.jobs;
+  health_.worst_p99_slowdown = 0.0;
+  for (const SchedResourceStats& r : resources_) {
+    if (r.jobs > 0)
+      health_.worst_p99_slowdown =
+          std::max(health_.worst_p99_slowdown, r.slowdown.p99);
+  }
+  health_.fairness_floor = 1.0;
+  for (const FairnessWindow& w : windows_)
+    health_.fairness_floor = std::min(health_.fairness_floor, w.jain);
+  health_.starved_jobs = starved_.size();
+}
+
+void SchedAnalyzer::replay(const SchedTrace& trace) {
+  const double window_s = cfg_.fairness_window_s;
+  resource_names_.resize(trace.resources());
+  resources_.resize(trace.resources());
+
+  for (std::size_t r = 0; r < trace.resources(); ++r) {
+    const auto rid = static_cast<std::uint16_t>(r);
+    resource_names_[r] = trace.resource_name(rid);
+    resources_[r].resource = resource_names_[r];
+    const std::vector<SchedEvent> events = trace.events(rid);
+    if (events.empty()) continue;
+
+    std::map<JobId, LiveJob> live;
+    // Per-class attained service, bucketed into tumbling windows keyed by
+    // floor(t / window_s). Keyed by class *name* (not interned pointer)
+    // so iteration — and therefore every floating-point summation order
+    // downstream — is independent of allocation addresses.
+    std::map<std::uint64_t, std::map<std::string, double>> window_service;
+    double share = 0.0;
+    double t_prev = events.front().time;
+
+    // Exact replay: between consecutive records the active set and the
+    // per-job rate are constant (every rate-changing operation emits a
+    // record), so each live job accrues share * dt, clamped to its
+    // remaining demand — the same arithmetic PsResource::advance_progress
+    // performs, re-derived offline.
+    auto accrue = [&](double from, double to) {
+      double t = from;
+      while (t < to) {
+        const auto widx =
+            static_cast<std::uint64_t>(std::floor(t / window_s));
+        const double wend = (static_cast<double>(widx) + 1.0) * window_s;
+        const double t_next = std::min(to, wend);
+        const double dt = t_next - t;
+        if (dt > 0.0 && share > 0.0) {
+          auto& bucket = window_service[widx];
+          for (auto& [id, job] : live) {
+            const double used = std::min(share * dt, job.remaining);
+            if (used > 0.0) {
+              job.remaining -= used;
+              bucket[job.cls != nullptr ? job.cls : kUntagged] += used;
+            }
+          }
+        }
+        if (t_next <= t) break;  // window_s underflow guard
+        t = t_next;
+      }
+    };
+
+    auto finalize = [&](const LiveJob& job, JobId id, double end_s,
+                        bool completed) {
+      SchedJobRecord rec;
+      rec.resource = rid;
+      rec.job = id;
+      rec.cls = job.cls;
+      rec.submit_s = job.submit_s;
+      rec.end_s = end_s;
+      rec.demand = job.demand;
+      rec.cores = job.cores;
+      rec.turnaround_s = end_s - job.submit_s;
+      rec.ideal_s = job.solo_rate > 0.0 ? job.demand / job.solo_rate : 0.0;
+      if (rec.ideal_s > 0.0) {
+        rec.wait_s = std::max(0.0, rec.turnaround_s - rec.ideal_s);
+        rec.slowdown = rec.turnaround_s / rec.ideal_s;
+      } else {
+        rec.wait_s = rec.turnaround_s;
+        rec.slowdown = 1.0;
+      }
+      rec.completed = completed;
+      jobs_.push_back(rec);
+    };
+
+    for (const SchedEvent& ev : events) {
+      accrue(t_prev, ev.time);
+      t_prev = ev.time;
+      switch (ev.kind) {
+        case SchedEventKind::Submit: {
+          LiveJob job;
+          job.cls = ev.cls;
+          job.demand = ev.demand;
+          job.cores = ev.cores;
+          job.submit_s = ev.time;
+          job.solo_rate = ev.solo_rate;
+          job.remaining = ev.demand;
+          live[ev.job] = job;
+          share = ev.share;
+          break;
+        }
+        case SchedEventKind::Complete:
+        case SchedEventKind::Cancel: {
+          auto it = live.find(ev.job);
+          if (it != live.end()) {
+            finalize(it->second, ev.job, ev.time,
+                     ev.kind == SchedEventKind::Complete);
+            live.erase(it);
+          }
+          // else: the Submit fell off a wrapped ring — the job is not
+          // reconstructable; the drop counter already accounts for it.
+          share = ev.share;
+          break;
+        }
+        case SchedEventKind::Rescale:
+          share = ev.share;
+          break;
+      }
+    }
+    // Jobs still in service when the trace ended: recorded for the Gantt
+    // (end = last event time) but excluded from wait/slowdown stats.
+    for (const auto& [id, job] : live) finalize(job, id, t_prev, false);
+
+    // Windowed fairness for this resource.
+    for (const auto& [widx, service] : window_service) {
+      std::size_t classes = 0;
+      for (const auto& [cls, x] : service)
+        if (x > kServiceEps) ++classes;
+      if (classes == 0) continue;
+      FairnessWindow w;
+      w.resource = rid;
+      w.begin_s = static_cast<double>(widx) * window_s;
+      w.end_s = w.begin_s + window_s;
+      w.jain = jain_index(service);
+      w.classes = classes;
+      windows_.push_back(w);
+      double total = 0.0;
+      for (const auto& [cls, x] : service) total += x;
+      resources_[r].service_s += total;
+    }
+  }
+
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const SchedJobRecord& a, const SchedJobRecord& b) {
+                     if (a.resource != b.resource) return a.resource < b.resource;
+                     if (a.submit_s != b.submit_s) return a.submit_s < b.submit_s;
+                     return a.job < b.job;
+                   });
+}
+
+void SchedAnalyzer::summarize() {
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    SchedResourceStats& rs = resources_[r];
+    std::vector<double> waits, slowdowns;
+    // Class name -> (waits, slowdowns, attained). std::map: deterministic
+    // name order in the output regardless of intern addresses.
+    std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+        per_class;
+    std::map<std::string, double> attained;
+    for (const SchedJobRecord& j : jobs_) {
+      if (j.resource != r || !j.completed) continue;
+      waits.push_back(j.wait_s);
+      slowdowns.push_back(j.slowdown);
+      const std::string cls = j.cls != nullptr ? j.cls : kUntagged;
+      per_class[cls].first.push_back(j.wait_s);
+      per_class[cls].second.push_back(j.slowdown);
+      attained[cls] += j.demand;
+    }
+    rs.jobs = waits.size();
+    rs.wait = summarize_dist(waits);
+    rs.slowdown = summarize_dist(slowdowns);
+    for (auto& [cls, ws] : per_class) {
+      SchedClassStats cs;
+      cs.cls = cls;
+      cs.jobs = ws.first.size();
+      cs.attained_service_s = attained[cls];
+      cs.wait = summarize_dist(ws.first);
+      cs.slowdown = summarize_dist(ws.second);
+      cs.median_wait_s = cs.wait.p50;
+      rs.classes.push_back(std::move(cs));
+    }
+  }
+}
+
+void SchedAnalyzer::detect_starvation() {
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    const SchedResourceStats& rs = resources_[r];
+    for (const SchedClassStats& cs : rs.classes) {
+      const double threshold =
+          cfg_.starvation_k * std::max(cs.median_wait_s, cfg_.min_wait_floor_s);
+      for (const SchedJobRecord& j : jobs_) {
+        if (j.resource != r || !j.completed) continue;
+        const std::string cls = j.cls != nullptr ? j.cls : kUntagged;
+        if (cls != cs.cls || j.wait_s <= threshold) continue;
+        StarvedJob sj;
+        sj.job = j;
+        sj.threshold_s = threshold;
+        // The job's wait grows monotonically from 0 once its ideal
+        // service time has elapsed, so it crossed the threshold at:
+        sj.flagged_at_s = j.submit_s + j.ideal_s + threshold;
+        for (const SchedJobRecord& other : jobs_) {
+          if (other.resource != j.resource) continue;
+          if (other.resource == j.resource && other.job == j.job) continue;
+          if (other.submit_s <= sj.flagged_at_s &&
+              sj.flagged_at_s < other.end_s) {
+            sj.contenders.emplace_back(
+                other.job,
+                other.cls != nullptr ? other.cls : kUntagged);
+          }
+        }
+        std::sort(sj.contenders.begin(), sj.contenders.end());
+        starved_.push_back(std::move(sj));
+      }
+    }
+  }
+  std::stable_sort(starved_.begin(), starved_.end(),
+                   [](const StarvedJob& a, const StarvedJob& b) {
+                     if (a.job.resource != b.job.resource)
+                       return a.job.resource < b.job.resource;
+                     if (a.job.submit_s != b.job.submit_s)
+                       return a.job.submit_s < b.job.submit_s;
+                     return a.job.job < b.job.job;
+                   });
+}
+
+void SchedAnalyzer::write_gantt_csv(std::ostream& os) const {
+  CsvWriter csv(os, {"resource", "job", "class", "submit_s", "end_s",
+                     "demand_s", "cores", "ideal_s", "wait_s", "slowdown",
+                     "completed"});
+  std::ostringstream num;
+  num << std::setprecision(17);
+  auto fmt = [&num](double v) {
+    num.str("");
+    num << v;
+    return num.str();
+  };
+  for (const SchedJobRecord& j : jobs_) {
+    csv.row(std::vector<std::string>{
+        resource_names_[j.resource], std::to_string(j.job),
+        j.cls != nullptr ? j.cls : kUntagged, fmt(j.submit_s), fmt(j.end_s),
+        fmt(j.demand), fmt(j.cores), fmt(j.ideal_s), fmt(j.wait_s),
+        fmt(j.slowdown), j.completed ? "1" : "0"});
+  }
+}
+
+void SchedAnalyzer::export_perfetto_gantt(std::uint64_t track) const {
+  if (!telemetry::enabled()) return;
+  for (const SchedJobRecord& j : jobs_) {
+    if (!j.completed) continue;
+    const char* name = j.cls != nullptr
+                           ? j.cls
+                           : telemetry::intern(resource_names_[j.resource]);
+    telemetry::sim_span("sched", name, track, j.submit_s, j.end_s);
+  }
+}
+
+void SchedAnalyzer::print_report(std::ostream& os) const {
+  os << "scheduler forensics: " << health_.jobs << " jobs from "
+     << health_.events << " events";
+  if (health_.dropped_events > 0)
+    os << " (" << health_.dropped_events << " dropped: ring wrapped)";
+  os << "\n";
+  os << "  worst p99 slowdown " << std::fixed << std::setprecision(2)
+     << health_.worst_p99_slowdown << "  fairness floor "
+     << std::setprecision(3) << health_.fairness_floor << "  starved jobs "
+     << health_.starved_jobs << "\n";
+
+  TextTable table({"resource", "jobs", "wait p50/p95/p99 (ms)",
+                   "slowdown p50/p95/p99"});
+  auto dist3 = [](const LatencyDist& d, double scale, int prec) {
+    std::ostringstream s;
+    s << std::fixed << std::setprecision(prec) << d.p50 * scale << " / "
+      << d.p95 * scale << " / " << d.p99 * scale;
+    return s.str();
+  };
+  for (const SchedResourceStats& rs : resources_) {
+    if (rs.jobs == 0) continue;
+    table.add_row({rs.resource, std::to_string(rs.jobs),
+                   dist3(rs.wait, 1e3, 2), dist3(rs.slowdown, 1.0, 2)});
+  }
+  table.print(os);
+
+  TextTable classes({"resource", "class", "jobs", "service (s)",
+                     "wait p50/p99 (ms)", "slowdown p99"});
+  for (const SchedResourceStats& rs : resources_) {
+    for (const SchedClassStats& cs : rs.classes) {
+      std::ostringstream wait2, sl, svc;
+      wait2 << std::fixed << std::setprecision(2) << cs.wait.p50 * 1e3
+            << " / " << cs.wait.p99 * 1e3;
+      sl << std::fixed << std::setprecision(2) << cs.slowdown.p99;
+      svc << std::fixed << std::setprecision(3) << cs.attained_service_s;
+      classes.add_row({rs.resource, cs.cls, std::to_string(cs.jobs),
+                       svc.str(), wait2.str(), sl.str()});
+    }
+  }
+  classes.print(os);
+
+  if (!windows_.empty()) {
+    double mean = 0.0;
+    const FairnessWindow* floor = &windows_.front();
+    for (const FairnessWindow& w : windows_) {
+      mean += w.jain;
+      if (w.jain < floor->jain) floor = &w;
+    }
+    mean /= static_cast<double>(windows_.size());
+    os << "  fairness: " << windows_.size() << " windows of " << std::fixed
+       << std::setprecision(1) << cfg_.fairness_window_s << " s, mean Jain "
+       << std::setprecision(3) << mean << ", floor " << floor->jain << " on "
+       << resource_names_[floor->resource] << " at ["
+       << std::setprecision(1) << floor->begin_s << ", " << floor->end_s
+       << ") s\n";
+  }
+
+  if (starved_.empty()) {
+    os << "  no starved jobs (k=" << std::fixed << std::setprecision(1)
+       << cfg_.starvation_k << ")\n";
+  } else {
+    os << "  " << starved_.size()
+       << " starved jobs (wait > k x class median, k=" << std::fixed
+       << std::setprecision(1) << cfg_.starvation_k << "), worst first:\n";
+    // Worst offenders only: rank by how far past the threshold each job
+    // got; the full set is in starved() / the Gantt CSV.
+    std::vector<const StarvedJob*> ranked;
+    ranked.reserve(starved_.size());
+    for (const StarvedJob& sj : starved_) ranked.push_back(&sj);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const StarvedJob* a, const StarvedJob* b) {
+                       return a->job.wait_s / a->threshold_s >
+                              b->job.wait_s / b->threshold_s;
+                     });
+    if (ranked.size() > 10) ranked.resize(10);
+    for (const StarvedJob* sjp : ranked) {
+      const StarvedJob& sj = *sjp;
+      os << "    " << resource_names_[sj.job.resource] << " job "
+         << sj.job.job << " ["
+         << (sj.job.cls != nullptr ? sj.job.cls : kUntagged) << "] waited "
+         << std::fixed << std::setprecision(2) << sj.job.wait_s * 1e3
+         << " ms (threshold " << sj.threshold_s * 1e3 << " ms), "
+         << sj.contenders.size() << " contenders at t=" << std::setprecision(3)
+         << sj.flagged_at_s << " s:";
+      std::size_t shown = 0;
+      for (const auto& [id, cls] : sj.contenders) {
+        if (shown++ == 6) {
+          os << " ...";
+          break;
+        }
+        os << " #" << id << "[" << cls << "]";
+      }
+      os << "\n";
+    }
+    if (starved_.size() > ranked.size()) {
+      os << "    ... and " << starved_.size() - ranked.size() << " more\n";
+    }
+  }
+}
+
+}  // namespace hbosim::des

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hbosim/des/sched_trace.hpp"
+
+/// \file sched_analyzer.hpp
+/// Offline scheduler forensics over a recorded SchedTrace.
+///
+/// The analyzer replays the lifecycle event stream exactly (see
+/// sched_trace.hpp for why the replay is exact, not sampled) and derives
+/// the artifacts a scheduling study needs:
+///
+///  - per-job records: turnaround, ideal (contention-free) service time,
+///    wait = turnaround - ideal, slowdown = turnaround / ideal;
+///  - wait and slowdown distributions (p50/p95/p99) per resource and per
+///    job class (the AI engine tags jobs "model@delegate");
+///  - Jain fairness index over per-class attained service in tumbling
+///    sim-time windows, and its floor across the run;
+///  - a starvation detector flagging jobs whose wait exceeded k x their
+///    class median, with the contending job set at the flagging instant;
+///  - Gantt timelines, exported as CSV and as Perfetto async slices on
+///    the sim-time pid (via telemetry::sim_span).
+///
+/// Everything here runs after the simulation completed; the analyzer
+/// never touches a Simulator and cannot perturb results.
+
+namespace hbosim::des {
+
+/// Five-number summary of one latency-like sample (seconds or ratios).
+struct LatencyDist {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// One job's reconstructed lifecycle. Jobs whose Submit record fell off a
+/// wrapped ring are not reconstructable and are excluded (counted in
+/// SchedHealth::dropped_events via the trace's drop counters).
+struct SchedJobRecord {
+  std::uint16_t resource = 0;
+  JobId job = 0;
+  const char* cls = nullptr;  ///< Interned class tag; null -> untagged.
+  double submit_s = 0.0;
+  double end_s = 0.0;       ///< Completion/cancel time, or trace end.
+  double demand = 0.0;      ///< Rate-1 seconds requested.
+  double cores = 0.0;
+  double ideal_s = 0.0;     ///< demand / solo_rate.
+  double turnaround_s = 0.0;
+  double wait_s = 0.0;      ///< max(0, turnaround - ideal).
+  double slowdown = 1.0;    ///< turnaround / ideal.
+  bool completed = false;   ///< False: cancelled or still in flight.
+};
+
+/// Wait/slowdown roll-up for one job class on one resource.
+struct SchedClassStats {
+  std::string cls;
+  std::size_t jobs = 0;  ///< Completed jobs.
+  double attained_service_s = 0.0;
+  double median_wait_s = 0.0;
+  LatencyDist wait;
+  LatencyDist slowdown;
+};
+
+struct SchedResourceStats {
+  std::string resource;
+  std::size_t jobs = 0;  ///< Completed jobs analyzed.
+  double service_s = 0.0;  ///< Total rate-1 service delivered.
+  LatencyDist wait;
+  LatencyDist slowdown;
+  std::vector<SchedClassStats> classes;  ///< Sorted by class name.
+};
+
+/// Jain fairness of per-class attained service over one tumbling window.
+/// J = (sum x)^2 / (n * sum x^2) over classes active in the window:
+/// 1.0 when every class got equal service, 1/n when one class got it all.
+struct FairnessWindow {
+  std::uint16_t resource = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double jain = 1.0;
+  std::size_t classes = 0;  ///< Classes with service in the window.
+};
+
+/// One flagged starving job plus its forensic context.
+struct StarvedJob {
+  SchedJobRecord job;
+  double threshold_s = 0.0;   ///< k x max(class median wait, floor).
+  double flagged_at_s = 0.0;  ///< Instant the job's wait crossed it.
+  /// Jobs in service on the same resource at flagged_at_s (the
+  /// contenders the starving job was losing to), as (id, class) pairs.
+  std::vector<std::pair<JobId, std::string>> contenders;
+};
+
+/// Compact roll-up of one trace's forensics — what a fleet carries per
+/// session into FleetMetrics::SchedHealth.
+struct SchedHealth {
+  std::size_t jobs = 0;  ///< Completed jobs analyzed across resources.
+  std::uint64_t events = 0;          ///< Records the trace captured.
+  std::uint64_t dropped_events = 0;  ///< Records lost to ring wrap.
+  double worst_p99_slowdown = 0.0;   ///< Max p99 slowdown over resources.
+  double fairness_floor = 1.0;       ///< Min windowed Jain index.
+  std::size_t starved_jobs = 0;
+};
+
+struct SchedAnalyzerConfig {
+  /// A completed job is starving when wait > k x max(median, floor) for
+  /// its class on its resource.
+  double starvation_k = 4.0;
+  /// Floor under the class median (seconds): classes whose median wait is
+  /// ~0 (uncontended) would otherwise flag on microscopic jitter.
+  double min_wait_floor_s = 1e-3;
+  /// Tumbling fairness-window width in sim seconds.
+  double fairness_window_s = 5.0;
+};
+
+class SchedAnalyzer {
+ public:
+  explicit SchedAnalyzer(const SchedTrace& trace,
+                         SchedAnalyzerConfig cfg = {});
+
+  const SchedAnalyzerConfig& config() const { return cfg_; }
+
+  /// All reconstructed jobs, ordered by (resource, submit time, id).
+  const std::vector<SchedJobRecord>& jobs() const { return jobs_; }
+  const std::vector<SchedResourceStats>& resources() const {
+    return resources_;
+  }
+  const std::vector<FairnessWindow>& fairness_windows() const {
+    return windows_;
+  }
+  const std::vector<StarvedJob>& starved() const { return starved_; }
+  const SchedHealth& health() const { return health_; }
+
+  /// Gantt timeline as CSV (RFC-4180 quoting), one row per job.
+  void write_gantt_csv(std::ostream& os) const;
+
+  /// Emit every completed job as a sim-time async slice (cat "sched",
+  /// name = class tag) on track `track` via telemetry::sim_span — lands
+  /// on the same Perfetto sim-time pid as the ai/hbo spans. No-op without
+  /// an active TelemetrySession.
+  void export_perfetto_gantt(std::uint64_t track) const;
+
+  /// Human-readable forensics report (fleet_demo --sched).
+  void print_report(std::ostream& os) const;
+
+ private:
+  void replay(const SchedTrace& trace);
+  void summarize();
+  void detect_starvation();
+
+  SchedAnalyzerConfig cfg_;
+  std::vector<std::string> resource_names_;
+  std::vector<SchedJobRecord> jobs_;
+  std::vector<SchedResourceStats> resources_;
+  std::vector<FairnessWindow> windows_;
+  std::vector<StarvedJob> starved_;
+  SchedHealth health_;
+};
+
+}  // namespace hbosim::des

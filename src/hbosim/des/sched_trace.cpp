@@ -1,0 +1,86 @@
+#include "hbosim/des/sched_trace.hpp"
+
+#include <algorithm>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::des {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+const char* sched_event_kind_name(SchedEventKind kind) {
+  switch (kind) {
+    case SchedEventKind::Submit: return "submit";
+    case SchedEventKind::Rescale: return "rescale";
+    case SchedEventKind::Complete: return "complete";
+    case SchedEventKind::Cancel: return "cancel";
+  }
+  return "?";
+}
+
+SchedTrace::SchedTrace(SchedTraceConfig cfg) : cfg_(cfg) {
+  HB_REQUIRE(cfg_.capacity_per_resource >= 1,
+             "sched trace ring needs at least one slot");
+  capacity_ = round_up_pow2(cfg_.capacity_per_resource);
+}
+
+std::uint16_t SchedTrace::register_resource(const std::string& name) {
+  HB_REQUIRE(rings_.size() < 0xFFFFu, "too many sched-traced resources");
+  ResourceRing ring;
+  ring.name = name;
+  // Slots are materialized up front: record() on the steady state is then
+  // a store + increment, never an allocation.
+  ring.slots.resize(capacity_);
+  rings_.push_back(std::move(ring));
+  return static_cast<std::uint16_t>(rings_.size() - 1);
+}
+
+void SchedTrace::record(const SchedEvent& ev) {
+  ResourceRing& ring = rings_.at(ev.resource);
+  ring.slots[ring.pushed & (capacity_ - 1)] = ev;
+  ++ring.pushed;
+}
+
+const std::string& SchedTrace::resource_name(std::uint16_t resource) const {
+  return rings_.at(resource).name;
+}
+
+std::vector<SchedEvent> SchedTrace::events(std::uint16_t resource) const {
+  const ResourceRing& ring = rings_.at(resource);
+  const std::uint64_t kept = std::min<std::uint64_t>(ring.pushed, capacity_);
+  std::vector<SchedEvent> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t i = ring.pushed - kept; i < ring.pushed; ++i)
+    out.push_back(ring.slots[i & (capacity_ - 1)]);
+  return out;
+}
+
+std::uint64_t SchedTrace::recorded(std::uint16_t resource) const {
+  return rings_.at(resource).pushed;
+}
+
+std::uint64_t SchedTrace::dropped(std::uint16_t resource) const {
+  const std::uint64_t pushed = rings_.at(resource).pushed;
+  return pushed > capacity_ ? pushed - capacity_ : 0;
+}
+
+std::uint64_t SchedTrace::total_recorded() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rings_.size(); ++i) total += rings_[i].pushed;
+  return total;
+}
+
+std::uint64_t SchedTrace::total_dropped() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rings_.size(); ++i)
+    total += dropped(static_cast<std::uint16_t>(i));
+  return total;
+}
+
+}  // namespace hbosim::des

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbosim/common/types.hpp"
+
+/// \file sched_trace.hpp
+/// Structured per-job scheduler lifecycle event stream.
+///
+/// A SchedTrace records every scheduling-relevant transition of the
+/// PsResources attached to one Simulator: job admission, completion,
+/// cancellation, and every mid-service rescale (DVFS capacity step,
+/// rate-cap change, background-utilization change). Each record carries
+/// the per-job service rate in effect *after* the transition, which makes
+/// the stream exactly replayable: a processor-sharing resource changes
+/// its per-job rate only at these transitions, so between two consecutive
+/// events every active job accrues `share * dt` service — no sampling, no
+/// approximation. `des::SchedAnalyzer` consumes the stream offline.
+///
+/// Recording is strictly observational. A PsResource reaches its trace
+/// through `Simulator::sched_trace()` (a plain pointer read); when no
+/// trace is attached the off-mode cost is one predictable branch, and
+/// when one is attached nothing the trace does can feed back into the
+/// simulation — attaching a trace changes no simulated result (pinned by
+/// parity tests).
+///
+/// Events live in fixed-capacity per-resource rings (oldest records are
+/// overwritten when a run outgrows the ring); the drop count is kept so
+/// the analyzer can report truncated coverage instead of silently
+/// under-counting.
+
+namespace hbosim::des {
+
+/// Lifecycle transition kinds. A processor-sharing server admits jobs
+/// into service immediately, so Submit doubles as the start-of-service
+/// record; Rescale covers every mid-service share change (DVFS steps,
+/// rate-cap moves, background/render load settling on the unit).
+enum class SchedEventKind : std::uint8_t {
+  Submit,    ///< Job entered service (admission == start under PS).
+  Rescale,   ///< Capacity / rate cap / background changed mid-service.
+  Complete,  ///< Job finished; its completion callback is about to run.
+  Cancel,    ///< Job removed without completing.
+};
+
+const char* sched_event_kind_name(SchedEventKind kind);
+
+/// One lifecycle record. `share` is the per-job service rate in effect
+/// AFTER the event applied — the invariant the exact replay rests on.
+/// Submit additionally snapshots `solo_rate`, the rate this job would
+/// have received on an otherwise-empty resource, which defines its ideal
+/// (contention-free) service time `demand / solo_rate`.
+struct SchedEvent {
+  SimTime time = 0.0;
+  SchedEventKind kind = SchedEventKind::Submit;
+  std::uint16_t resource = 0;    ///< Id from SchedTrace::register_resource.
+  JobId job = 0;                 ///< 0 for Rescale records.
+  const char* cls = nullptr;     ///< Job-class tag (interned); may be null.
+  double demand = 0.0;           ///< Rate-1 seconds requested (Submit only).
+  double cores = 0.0;            ///< Capacity units held (Submit only).
+  double share = 0.0;            ///< Per-job rate after the event.
+  double solo_rate = 0.0;        ///< Contention-free rate (Submit only).
+  std::uint32_t active_jobs = 0; ///< Jobs in service after the event.
+};
+
+struct SchedTraceConfig {
+  /// Fleet-level master switch (FleetSpec::sched). A constructed
+  /// SchedTrace always records; `enabled` decides whether the fleet
+  /// creates and attaches one per session at all.
+  bool enabled = false;
+  /// Ring slots per resource (rounded up to a power of two). At the
+  /// default 65536 a 60 s session traces every AI phase with room to
+  /// spare; mega-fleet smoke runs can shrink it.
+  std::size_t capacity_per_resource = 1u << 16;
+  /// Drop the PsResource depth-counter decimation to 1 (exact counters)
+  /// on traced sessions, so the telemetry depth series lines up with the
+  /// forensics event stream. Only consulted where a trace is attached;
+  /// untraced sessions keep the default 1-in-16 sampling.
+  bool exact_depth_counters = true;
+};
+
+/// Per-resource ring buffers of SchedEvents plus drop accounting.
+/// Single-threaded like the Simulator that feeds it; a fleet creates one
+/// trace per session, so traces never cross threads.
+class SchedTrace {
+ public:
+  explicit SchedTrace(SchedTraceConfig cfg = {});
+
+  const SchedTraceConfig& config() const { return cfg_; }
+
+  /// Register a resource stream and return its id (stable for the trace's
+  /// lifetime). Idempotence is the caller's job: PsResource registers
+  /// itself once per attached trace.
+  std::uint16_t register_resource(const std::string& name);
+
+  void record(const SchedEvent& ev);
+
+  std::size_t resources() const { return rings_.size(); }
+  const std::string& resource_name(std::uint16_t resource) const;
+
+  /// Retained events for one resource, oldest first. When the ring
+  /// wrapped, the earliest `dropped(resource)` records are gone — the
+  /// analyzer treats jobs whose Submit fell off as uncovered.
+  std::vector<SchedEvent> events(std::uint16_t resource) const;
+
+  /// Total records ever offered to / lost from one resource's ring.
+  std::uint64_t recorded(std::uint16_t resource) const;
+  std::uint64_t dropped(std::uint16_t resource) const;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+
+ private:
+  struct ResourceRing {
+    std::string name;
+    std::vector<SchedEvent> slots;  // capacity is a power of two
+    std::uint64_t pushed = 0;       // total records ever pushed
+  };
+
+  SchedTraceConfig cfg_;
+  std::size_t capacity_ = 0;  // per-ring, power of two
+  std::vector<ResourceRing> rings_;
+};
+
+}  // namespace hbosim::des

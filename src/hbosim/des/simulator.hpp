@@ -21,6 +21,8 @@ namespace hbosim::des {
 /// Identifier of a scheduled event, usable to cancel it.
 using EventId = std::uint64_t;
 
+class SchedTrace;
+
 class Simulator {
  public:
   using Handler = std::function<void()>;
@@ -59,6 +61,15 @@ class Simulator {
   /// Pending (non-cancelled) event count.
   std::size_t pending() const { return pending_ids_.size(); }
 
+  /// Attach (or detach, with nullptr) a scheduler lifecycle trace. The
+  /// Simulator does not own it; resources reach it through sched_trace()
+  /// and record their job transitions into it (see sched_trace.hpp).
+  /// Recording is observational only — attaching a trace changes no
+  /// simulated result — and off-mode costs one null-pointer branch per
+  /// transition. The trace must outlive the simulation it observes.
+  void set_sched_trace(SchedTrace* trace) { sched_trace_ = trace; }
+  SchedTrace* sched_trace() const { return sched_trace_; }
+
  private:
   struct Event {
     SimTime time;
@@ -86,6 +97,7 @@ class Simulator {
 
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
+  SchedTrace* sched_trace_ = nullptr;  // non-owning; null = not traced
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event, ArenaAllocator<Event>>, Later>
       queue_;

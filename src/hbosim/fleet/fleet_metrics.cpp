@@ -88,6 +88,27 @@ void FleetAccumulator::add(const SessionResult& s) {
   totals_.power.min_freq_scale =
       std::min(totals_.power.min_freq_scale, s.min_freq_scale);
   if (s.throttle_events > 0) ++throttled_sessions_;
+  // Sched forensics roll-up: max/min/sum only — order-independent, so the
+  // roll-up is identical on 1 and N fleet threads by construction (and the
+  // per-session p99 samples are still fed in session-id order for the
+  // streaming sketch, like every other metric).
+  if (s.sched_traced) {
+    ++sched_sessions_;
+    totals_.sched.jobs += s.sched_jobs;
+    totals_.sched.worst_p99_slowdown = std::max(
+        totals_.sched.worst_p99_slowdown, s.sched_worst_p99_slowdown);
+    totals_.sched.fairness_floor =
+        std::min(totals_.sched.fairness_floor, s.sched_fairness_floor);
+    totals_.sched.starved_jobs += s.sched_starved_jobs;
+    totals_.sched.events += s.sched_events;
+    totals_.sched.dropped_events += s.sched_dropped_events;
+    if (s.sched_starved_jobs > 0) ++starved_sessions_;
+    if (mode_ == Mode::Exact) {
+      sched_p99s_.push_back(s.sched_worst_p99_slowdown);
+    } else {
+      s_sched_p99s_.add(s.sched_worst_p99_slowdown);
+    }
+  }
 }
 
 FleetMetrics FleetAccumulator::finalize(
@@ -110,6 +131,7 @@ FleetMetrics FleetAccumulator::finalize(
     // matching the historical aggregate_fleet early return.
     out.total_sim_seconds = 0.0;
     out.power = FleetMetrics::PowerHealth{};
+    out.sched = FleetMetrics::SchedHealth{};
     return out;
   }
 
@@ -139,6 +161,18 @@ FleetMetrics FleetAccumulator::finalize(
         static_cast<double>(count_);
   } else {
     out.power = FleetMetrics::PowerHealth{};
+  }
+
+  if (sched_sessions_ > 0) {
+    out.sched.enabled = true;
+    out.sched.p99_slowdown = mode_ == Mode::Exact
+                                 ? summarize_metric(sched_p99s_)
+                                 : s_sched_p99s_.summary();
+    out.sched.starved_session_fraction =
+        static_cast<double>(starved_sessions_) /
+        static_cast<double>(sched_sessions_);
+  } else {
+    out.sched = FleetMetrics::SchedHealth{};
   }
 
   if (out.total_activations > 0) {

@@ -70,6 +70,16 @@ struct SessionResult {
   double battery_soc = 1.0;           ///< Charge remaining at session end.
   double battery_drain_pct_per_hour = 0.0;  ///< Projected drain rate.
 
+  // Scheduler forensics roll-up (see des::SchedAnalyzer). All neutral
+  // when the fleet runs without sched tracing (FleetSpec::sched.enabled).
+  bool sched_traced = false;           ///< A SchedTrace was attached.
+  std::size_t sched_jobs = 0;          ///< Completed jobs analyzed.
+  double sched_worst_p99_slowdown = 0.0;  ///< Max p99 slowdown, any unit.
+  double sched_fairness_floor = 1.0;      ///< Min windowed Jain index.
+  std::size_t sched_starved_jobs = 0;
+  std::uint64_t sched_events = 0;          ///< Lifecycle records captured.
+  std::uint64_t sched_dropped_events = 0;  ///< Records lost to ring wrap.
+
   double wall_seconds = 0.0;  ///< Host time spent simulating this session.
 };
 
@@ -156,6 +166,25 @@ struct FleetMetrics {
     std::uint64_t bandit_updates = 0;    ///< Learner rank-one updates.
   };
   PolicyHealth policy;
+
+  /// Scheduler forensics roll-up across sessions (des::SchedAnalyzer per
+  /// session, aggregated in session-id order — every field below is also
+  /// order-independent, so the roll-up is identical on 1 and N fleet
+  /// threads). All-neutral when sched tracing was off (enabled == false).
+  struct SchedHealth {
+    bool enabled = false;
+    std::size_t jobs = 0;               ///< Completed jobs, summed.
+    double worst_p99_slowdown = 0.0;    ///< Max over sessions.
+    double fairness_floor = 1.0;        ///< Min over sessions.
+    std::size_t starved_jobs = 0;       ///< Summed.
+    std::uint64_t events = 0;           ///< Lifecycle records, summed.
+    std::uint64_t dropped_events = 0;   ///< Ring-wrap losses, summed.
+    /// Distribution of per-session worst p99 slowdowns.
+    MetricSummary p99_slowdown;
+    /// Fraction of traced sessions that flagged at least one starved job.
+    double starved_session_fraction = 0.0;
+  };
+  SchedHealth sched;
 };
 
 /// Summarize one metric sample (throws on empty input, like percentile()).
@@ -211,14 +240,18 @@ class FleetAccumulator {
   FleetMetrics totals_;  ///< Counter sums accumulated as sessions arrive.
   bool any_power_ = false;
   std::size_t throttled_sessions_ = 0;
+  std::size_t sched_sessions_ = 0;    ///< Sessions that carried a trace.
+  std::size_t starved_sessions_ = 0;  ///< Traced sessions with starvation.
 
   // Mode Exact: retained samples, summarized (sort-once) at finalize.
   std::vector<double> quality_, eps_, reward_;
   std::vector<double> watts_, temps_, drains_;
+  std::vector<double> sched_p99s_;
 
   // Mode Streaming: O(1) sketches.
   StreamingSummary s_quality_, s_eps_, s_reward_;
   StreamingSummary s_watts_, s_temps_, s_drains_;
+  StreamingSummary s_sched_p99s_;
 };
 
 /// Roll per-session results up into fleet-wide metrics — the exact path,

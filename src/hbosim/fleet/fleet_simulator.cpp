@@ -85,6 +85,16 @@ void FleetSpec::validate() const {
                  "bandit-mode fleets cannot use the shared solution pool");
     }
   }
+  if (sched.enabled) {
+    HB_REQUIRE(sched.capacity_per_resource >= 1,
+               "sched trace ring needs at least one slot");
+    HB_REQUIRE(sched_analysis.starvation_k > 0.0,
+               "sched starvation k must be positive");
+    HB_REQUIRE(sched_analysis.min_wait_floor_s >= 0.0,
+               "sched wait floor must be non-negative");
+    HB_REQUIRE(sched_analysis.fairness_window_s > 0.0,
+               "sched fairness window must be positive");
+  }
   if (use_power_model) {
     power.validate();
     // Every device in the mix needs a power model; failing here turns a
@@ -127,6 +137,13 @@ SessionResult FleetSimulator::run_session(const SessionSpec& spec) const {
   return run_policy_session(spec, nullptr, nullptr).result;
 }
 
+SessionResult FleetSimulator::run_session_traced(
+    const SessionSpec& spec, des::SchedTrace& trace) const {
+  // No arena wrapper: this is a one-off diagnostic re-run, and the
+  // caller's trace must not depend on any worker-arena lifetime.
+  return run_policy_session_impl(spec, nullptr, nullptr, &trace).result;
+}
+
 PolicySessionOutput FleetSimulator::run_policy_session(
     const SessionSpec& spec,
     std::shared_ptr<const policy::PriorSnapshot> priors,
@@ -150,7 +167,8 @@ PolicySessionOutput FleetSimulator::run_policy_session(
 PolicySessionOutput FleetSimulator::run_policy_session_impl(
     const SessionSpec& spec,
     std::shared_ptr<const policy::PriorSnapshot> priors,
-    std::shared_ptr<const policy::LinUcbBandit> bandit) const {
+    std::shared_ptr<const policy::LinUcbBandit> bandit,
+    des::SchedTrace* trace) const {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Telemetry: name this worker's wall-clock track, route the session's
@@ -177,6 +195,25 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
   }
   std::unique_ptr<app::MarApp> app =
       scenario::make_app(device, spec.objects, spec.tasks, spec.seed, base);
+
+  // Scheduler forensics: attach a per-session lifecycle trace before any
+  // event runs. The trace is plain-heap (never arena-backed — it outlives
+  // run_session_traced's caller scope) and purely observational, so the
+  // simulated trajectory is bit-identical with and without it.
+  std::unique_ptr<des::SchedTrace> owned_trace;
+  if (trace == nullptr && spec_.sched.enabled) {
+    owned_trace = std::make_unique<des::SchedTrace>(spec_.sched);
+    trace = owned_trace.get();
+  }
+  if (trace != nullptr) {
+    app->sim().set_sched_trace(trace);
+    if (trace->config().exact_depth_counters) {
+      // Exact depth counters on traced sessions, so the telemetry depth
+      // series lines up sample-for-sample with the event stream.
+      for (soc::Unit u : {soc::Unit::Cpu, soc::Unit::Gpu, soc::Unit::Npu})
+        app->soc().unit(u).set_trace_decimation(1);
+    }
+  }
 
   PolicySessionOutput output;
   SessionResult& out = output.result;
@@ -291,6 +328,24 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
     out.min_freq_scale = ps.min_freq_scale;
     out.battery_soc = ps.battery_soc;
     out.battery_drain_pct_per_hour = ps.drain_pct_per_hour;
+  }
+  if (trace != nullptr) {
+    // Offline forensics over the completed session. The analyzer reads
+    // the trace only — the simulation is already over — and the roll-up
+    // lands in the SessionResult for the fleet's SchedHealth aggregation.
+    app->sim().set_sched_trace(nullptr);
+    des::SchedAnalyzer analysis(*trace, spec_.sched_analysis);
+    const des::SchedHealth& h = analysis.health();
+    out.sched_traced = true;
+    out.sched_jobs = h.jobs;
+    out.sched_worst_p99_slowdown = h.worst_p99_slowdown;
+    out.sched_fairness_floor = h.fairness_floor;
+    out.sched_starved_jobs = h.starved_jobs;
+    out.sched_events = h.events;
+    out.sched_dropped_events = h.dropped_events;
+    // With telemetry live, drop the session's Gantt onto its sim-time
+    // async track, next to the ai/hbo spans.
+    if (telemetry::enabled()) analysis.export_perfetto_gantt(spec.id);
   }
   out.wall_seconds = seconds_since(t0);
   if (telemetry::enabled()) {

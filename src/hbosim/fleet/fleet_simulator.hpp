@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "hbosim/core/monitored_session.hpp"
+#include "hbosim/des/sched_analyzer.hpp"
+#include "hbosim/des/sched_trace.hpp"
 #include "hbosim/fleet/fleet_metrics.hpp"
 #include "hbosim/fleet/shared_pool.hpp"
 #include "hbosim/policy/bandit.hpp"
@@ -123,6 +125,17 @@ struct FleetSpec {
   /// seed field is overridden from the session seed).
   power::PowerConfig power;
 
+  /// Scheduler forensics (des::SchedAnalyzer): with sched.enabled, every
+  /// session runs with a private SchedTrace on its own Simulator and is
+  /// analyzed offline when it completes; the SessionResult carries the
+  /// per-session SchedHealth numbers and FleetMetrics::sched rolls them
+  /// up. Tracing is observational: per-session results are bit-identical
+  /// with tracing on and off (pinned in tests), and the roll-up uses only
+  /// order-independent reductions so 1-vs-N-thread fleets agree exactly.
+  des::SchedTraceConfig sched;
+  /// Starvation-k / fairness-window knobs for the per-session analysis.
+  des::SchedAnalyzerConfig sched_analysis;
+
   /// Keep every SessionResult in FleetResult::sessions (the historical
   /// behaviour — this path is bitwise unchanged). With false, the fleet
   /// rolls results up through the streaming accumulator as they complete:
@@ -197,6 +210,15 @@ class FleetSimulator {
   /// Simulate one session to completion on the calling thread.
   SessionResult run_session(const SessionSpec& spec) const;
 
+  /// Re-run one session with the caller's SchedTrace attached (regardless
+  /// of FleetSpec::sched.enabled) and return its result. Because every
+  /// session is a pure function of (spec, seed) and tracing never feeds
+  /// back, this reproduces the fleet run's trajectory exactly — the
+  /// deterministic deep-dive behind `fleet_demo --sched`, which re-runs
+  /// the worst session to print its full forensics report.
+  SessionResult run_session_traced(const SessionSpec& spec,
+                                   des::SchedTrace& trace) const;
+
   /// Simulate one session against frozen epoch artifacts: with `priors`
   /// set, an HBO session whose full activations consult the snapshot;
   /// with `bandit` set, a BanditSession selecting against the frozen
@@ -223,11 +245,13 @@ class FleetSimulator {
 
  private:
   /// The session body; run_policy_session wraps it in the per-worker
-  /// ArenaScope when FleetSpec::use_session_arena is set.
+  /// ArenaScope when FleetSpec::use_session_arena is set. A non-null
+  /// `trace` (run_session_traced) overrides the spec-owned sched trace.
   PolicySessionOutput run_policy_session_impl(
       const SessionSpec& spec,
       std::shared_ptr<const policy::PriorSnapshot> priors,
-      std::shared_ptr<const policy::LinUcbBandit> bandit) const;
+      std::shared_ptr<const policy::LinUcbBandit> bandit,
+      des::SchedTrace* trace = nullptr) const;
 
   FleetSpec spec_;
   std::unique_ptr<SharedSolutionPool> pool_;

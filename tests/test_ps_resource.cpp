@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "hbosim/common/error.hpp"
 #include "hbosim/des/ps_resource.hpp"
+#include "hbosim/des/sched_trace.hpp"
+#include "hbosim/telemetry/telemetry.hpp"
 
 namespace hbosim::des {
 namespace {
@@ -306,6 +310,77 @@ TEST_P(PsConservationTest, TotalWorkIsConservedUnderChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PsConservationTest,
                          ::testing::Values(1, 2, 5, 13, 40));
+
+TEST(PsResource, TraceDecimationOneRecordsEveryDepthChange) {
+  // Count "<name>.active_jobs" counter samples in the exported trace:
+  // decimation 1 records one per depth change (N submits + N completion
+  // events here), the default 1-in-16 sampling far fewer.
+  auto depth_samples = [](std::uint32_t decimation) {
+    telemetry::TelemetrySession session;
+    Simulator sim;
+    PsResource res(sim, "cpu", 1.0);
+    if (decimation != 0) res.set_trace_decimation(decimation);
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_at(0.1 * i, [&] { res.submit(0.01, [] {}); });
+    }
+    sim.run();
+    std::ostringstream os;
+    session.write_chrome_trace(os);
+    const std::string text = os.str();
+    std::size_t count = 0, pos = 0;
+    while ((pos = text.find("cpu.active_jobs", pos)) != std::string::npos) {
+      ++count;
+      pos += 1;
+    }
+    return count;
+  };
+  // 10 sequential jobs: 10 submit-side changes + 10 completion-side ones.
+  EXPECT_EQ(depth_samples(1), 20u);
+  // Default sampling sees 1 in 16 of those 20 changes.
+  EXPECT_EQ(depth_samples(0), 1u);
+  EXPECT_EQ(depth_samples(16), 1u);
+
+  Simulator sim;
+  PsResource res(sim, "cpu", 1.0);
+  EXPECT_EQ(res.trace_decimation(), 16u);
+  EXPECT_THROW(res.set_trace_decimation(0), Error);
+}
+
+TEST(PsResource, SchedTraceCapturesSubmitFieldsAndOrdering) {
+  Simulator sim;
+  SchedTrace trace;
+  sim.set_sched_trace(&trace);
+  PsResource res(sim, "gpu", 2.0, 2.0);
+  res.submit(0.1, 1.0, [] {}, "first");
+  res.submit(0.2, 1.0, [] {}, "second");
+  sim.run();
+
+  const std::vector<SchedEvent> events = trace.events(0);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, SchedEventKind::Submit);
+  EXPECT_STREQ(events[0].cls, "first");
+  EXPECT_DOUBLE_EQ(events[0].demand, 0.1);
+  EXPECT_DOUBLE_EQ(events[0].cores, 1.0);
+  // Alone on a 2-wide, rate-2-capped unit: solo and shared rate are 2.
+  EXPECT_DOUBLE_EQ(events[0].solo_rate, 2.0);
+  EXPECT_DOUBLE_EQ(events[0].share, 2.0);
+  EXPECT_EQ(events[0].active_jobs, 1u);
+
+  EXPECT_EQ(events[1].kind, SchedEventKind::Submit);
+  // Two jobs split the capacity: share after the event is 1.
+  EXPECT_DOUBLE_EQ(events[1].share, 1.0);
+  EXPECT_EQ(events[1].active_jobs, 2u);
+  // Its solo rate is still the contention-free 2.
+  EXPECT_DOUBLE_EQ(events[1].solo_rate, 2.0);
+
+  EXPECT_EQ(events[2].kind, SchedEventKind::Complete);
+  EXPECT_STREQ(events[2].cls, "first");
+  EXPECT_EQ(events[2].active_jobs, 1u);
+  EXPECT_EQ(events[3].kind, SchedEventKind::Complete);
+  EXPECT_STREQ(events[3].cls, "second");
+  EXPECT_EQ(events[3].active_jobs, 0u);
+  EXPECT_LT(events[2].time, events[3].time);
+}
 
 }  // namespace
 }  // namespace hbosim::des

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cctype>
 #include <future>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -16,6 +17,10 @@
 #include "hbosim/common/error.hpp"
 #include "hbosim/common/logging.hpp"
 #include "hbosim/common/thread_pool.hpp"
+#include "hbosim/des/ps_resource.hpp"
+#include "hbosim/des/sched_analyzer.hpp"
+#include "hbosim/des/sched_trace.hpp"
+#include "hbosim/des/simulator.hpp"
 #include "hbosim/fleet/fleet_simulator.hpp"
 #include "hbosim/telemetry/report.hpp"
 #include "hbosim/telemetry/telemetry.hpp"
@@ -510,6 +515,125 @@ TEST(Telemetry, FleetRunProducesSessionSpans) {
 
   const ProfileReport report = session.report();
   EXPECT_NE(report.root.child("fleet.run"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Structural checks on the sim-time async tracks: every "b" on pid 2 has
+// a matching "e" with the same (tid, cat, name) key and a non-negative
+// duration, and the running begin/end balance never goes negative.
+
+/// One flat Chrome-trace event pulled back out of the exported JSON.
+/// The exporter writes sim-time events without nested objects, so a
+/// brace-to-brace scan plus field finds is a faithful parse for them.
+struct FlatTraceEvent {
+  std::string ph, cat, name;
+  int pid = -1;
+  long long tid = -1;
+  double ts = 0.0;
+};
+
+std::vector<FlatTraceEvent> parse_flat_events(const std::string& text) {
+  std::vector<FlatTraceEvent> out;
+  std::size_t pos = 0;
+  auto field = [](const std::string& obj, const std::string& key) {
+    const std::size_t at = obj.find("\"" + key + "\": ");
+    if (at == std::string::npos) return std::string();
+    std::size_t begin = at + key.size() + 4;
+    std::size_t end = obj.find_first_of(",}", begin);
+    std::string v = obj.substr(begin, end - begin);
+    if (!v.empty() && v.front() == '"') v = v.substr(1, v.size() - 2);
+    return v;
+  };
+  while ((pos = text.find("{\"ph\": ", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    FlatTraceEvent ev;
+    ev.ph = field(obj, "ph");
+    ev.cat = field(obj, "cat");
+    ev.name = field(obj, "name");
+    if (!field(obj, "pid").empty()) ev.pid = std::stoi(field(obj, "pid"));
+    if (!field(obj, "tid").empty()) ev.tid = std::stoll(field(obj, "tid"));
+    if (!field(obj, "ts").empty()) ev.ts = std::stod(field(obj, "ts"));
+    out.push_back(std::move(ev));
+    pos = end + 1;
+  }
+  return out;
+}
+
+TEST(Telemetry, SimTimeAsyncTracksPairBeginAndEnd) {
+  TelemetrySession session;
+  // Overlapping spans on two tracks, plus a nested same-track pair.
+  telemetry::sim_span("simtest", "alpha", 3, 0.0, 2.0);
+  telemetry::sim_span("simtest", "beta", 4, 0.5, 1.5);
+  telemetry::sim_span("simtest", "alpha", 3, 0.25, 0.75);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(JsonChecker(text).valid());
+
+  std::map<std::string, int> balance;
+  std::map<std::string, int> begins, ends;
+  double last_begin_ts = 0.0;
+  std::size_t sim_events = 0;
+  for (const FlatTraceEvent& ev : parse_flat_events(text)) {
+    if (ev.pid != 2 || (ev.ph != "b" && ev.ph != "e")) continue;
+    ++sim_events;
+    const std::string key =
+        std::to_string(ev.tid) + "/" + ev.cat + "/" + ev.name;
+    if (ev.ph == "b") {
+      ++balance[key];
+      ++begins[key];
+      last_begin_ts = ev.ts;
+    } else {
+      --balance[key];
+      ++ends[key];
+      // The exporter writes each span's end right after its begin.
+      EXPECT_GE(ev.ts, last_begin_ts) << key;
+    }
+    EXPECT_GE(balance[key], 0) << "unmatched end on " << key;
+  }
+  EXPECT_EQ(sim_events, 6u);  // three spans, two phases each
+  for (const auto& [key, n] : begins) {
+    EXPECT_EQ(n, ends[key]) << "unbalanced track " << key;
+  }
+  EXPECT_EQ(begins.size(), 2u);  // (3, alpha) and (4, beta)
+}
+
+TEST(Telemetry, SchedGanttSlicesLandOnSimTimePid) {
+  TelemetrySession session;
+
+  des::Simulator sim;
+  des::SchedTrace trace;
+  sim.set_sched_trace(&trace);
+  des::PsResource cpu(sim, "cpu", 1.0, 1.0);
+  cpu.submit(0.05, [] {}, "detect@gpu");
+  cpu.submit(0.05, [] {}, "detect@gpu");
+  cpu.submit(0.02, [] {});  // untagged -> named after the resource
+  sim.run();
+
+  des::SchedAnalyzer analyzer(trace);
+  analyzer.export_perfetto_gantt(/*track=*/9);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(JsonChecker(text).valid());
+
+  std::size_t sched_begins = 0, sched_ends = 0;
+  for (const FlatTraceEvent& ev : parse_flat_events(text)) {
+    if (ev.cat != "sched") continue;
+    // Every Gantt slice is an async pair on the sim-time pid, track 9.
+    EXPECT_EQ(ev.pid, 2);
+    EXPECT_EQ(ev.tid, 9);
+    EXPECT_TRUE(ev.ph == "b" || ev.ph == "e") << ev.ph;
+    EXPECT_TRUE(ev.name == "detect@gpu" || ev.name == "cpu") << ev.name;
+    if (ev.ph == "b") ++sched_begins;
+    if (ev.ph == "e") ++sched_ends;
+  }
+  EXPECT_EQ(sched_begins, 3u);  // three completed jobs
+  EXPECT_EQ(sched_ends, 3u);
 }
 
 }  // namespace
