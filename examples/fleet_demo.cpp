@@ -38,6 +38,19 @@
 //                          read the frozen artifact trained on everything
 //                          before them.
 //
+//   --market [pf|maxmin|price]
+//                          make the edge an actor (hbosim::marketsvc,
+//                          default pf): a cross-tenant JointAllocator
+//                          ticks at every epoch barrier and jointly
+//                          assigns link shares, compute shares, and a
+//                          per-tenant resolution knob under congestion
+//                          budgets. Implies --edge (wifi preset unless
+//                          --edge chose one) and disables the shared
+//                          solution pool (the allocator owns the epoch
+//                          barrier). Prints the market roll-up: admission
+//                          rate, resolution distribution, decided link /
+//                          compute load, and the posted price.
+//
 //   --sched                scheduler forensics (des::SchedAnalyzer): every
 //                          session records a per-job lifecycle trace, the
 //                          fleet prints the SchedHealth roll-up (worst p99
@@ -75,6 +88,7 @@
 
 #include "hbosim/common/meminfo.hpp"
 #include "hbosim/fleet/fleet_simulator.hpp"
+#include "hbosim/marketsvc/market.hpp"
 #include "hbosim/telemetry/report.hpp"
 #include "hbosim/telemetry/telemetry.hpp"
 
@@ -91,6 +105,8 @@ int main(int argc, char** argv) {
   std::size_t sessions_override = 0;
   std::string edge_preset = "wifi";
   std::string policy_mode = "off";
+  bool use_market = false;
+  std::string market_policy = "pf";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -114,6 +130,15 @@ int main(int argc, char** argv) {
       use_sched = true;
     } else if (arg == "--gantt" && i + 1 < argc) {
       gantt_path = argv[++i];
+    } else if (arg == "--market") {
+      use_market = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') market_policy = argv[++i];
+      if (market_policy != "pf" && market_policy != "maxmin" &&
+          market_policy != "price") {
+        std::cerr << "unknown --market policy '" << market_policy
+                  << "' (expected pf|maxmin|price)\n";
+        return 2;
+      }
     } else if (arg == "--policy") {
       policy_mode = "prior";
       if (i + 1 < argc && argv[i + 1][0] != '-') policy_mode = argv[++i];
@@ -125,7 +150,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
-                   " [--edge [lan|wifi|congested]] [--power]"
+                   " [--edge [lan|wifi|congested]]"
+                   " [--market [pf|maxmin|price]] [--power]"
                    " [--sched] [--gantt out.csv]"
                    " [--policy [prior|bandit|off]]"
                    " [--sessions N] [--stream]\n";
@@ -154,9 +180,19 @@ int main(int argc, char** argv) {
   spec.session.hbo.selection_candidates = 1;
   spec.session.hbo.control_period_s = 1.0;
   spec.session.hbo.monitor_period_s = 1.0;
-  if (use_edge) {
+  if (use_edge || use_market) {
     spec.use_edge_service = true;
     spec.edge = edgesvc::edge_service_preset(edge_preset);
+  }
+  if (use_market) {
+    spec.market.enabled = true;
+    spec.market.allocator.policy =
+        marketsvc::market_policy_from_name(market_policy);
+    // Eight tenants contend per allocation round; the allocator owns the
+    // epoch barrier, so the shared pool (whose warm starts depend on
+    // session completion order) stays off.
+    spec.market.epoch_sessions = 8;
+    spec.use_shared_pool = false;
   }
   if (policy_mode != "off") {
     spec.policy.mode = policy_mode == "prior" ? fleet::PolicyMode::Prior
@@ -271,6 +307,23 @@ int main(int argc, char** argv) {
               << " queue depth p95=" << std::setprecision(1)
               << m.edge.queue_depth_p95 << " mean wait="
               << std::setprecision(3) << m.edge.mean_wait_ms << " ms\n";
+  }
+  if (m.market.enabled) {
+    std::cout << "  market (" << m.market.policy << "): " << m.market.ticks
+              << " allocation ticks, admission rate " << std::setprecision(2)
+              << m.market.admission_rate << " (" << m.market.denied_sessions
+              << " denied)\n"
+              << "          resolution mean=" << std::setprecision(3)
+              << m.market.resolution.mean << " p50="
+              << m.market.resolution.p50 << " min=" << m.market.resolution.min
+              << "\n"
+              << "          decided link activity="
+              << m.market.link_activity << " compute utilization="
+              << m.market.compute_utilization;
+    if (m.market.policy == "price") {
+      std::cout << " posted price=" << m.market.final_price;
+    }
+    std::cout << "\n";
   }
   if (m.power.enabled) {
     std::cout << "  power: " << std::setprecision(1) << m.power.total_energy_j

@@ -1,6 +1,7 @@
 #include "hbosim/app/mar_app.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "hbosim/ai/latency_stats.hpp"
 #include "hbosim/common/error.hpp"
@@ -157,6 +158,7 @@ PeriodMetrics MarApp::snapshot() {
   m.period_start = m.period_end = sim_.now();
   m.average_quality = scene_.average_quality();
   m.triangle_ratio = scene_.current_ratio();
+  if (quality_scale_ != 1.0) m.average_quality *= quality_scale_;
 
   std::vector<ai::LatencySample> samples;
   for (TaskId id : task_order_) {
@@ -182,6 +184,12 @@ PeriodMetrics MarApp::snapshot() {
     m.battery_soc = power_->battery_soc();
   }
   return m;
+}
+
+void MarApp::set_quality_scale(double scale) {
+  HB_REQUIRE(std::isfinite(scale) && scale > 0.0 && scale <= 1.0,
+             "quality scale must be in (0, 1]");
+  quality_scale_ = scale;
 }
 
 }  // namespace hbosim::app

@@ -122,6 +122,14 @@ class MarApp {
   /// current measurement window; useful for activation monitoring).
   PeriodMetrics snapshot();
 
+  /// Perceptual scale the market's resolution knob applies to reported
+  /// quality (r^gamma, computed by the fleet from its allocation): a
+  /// tenant rendering at reduced resolution perceives proportionally
+  /// less of the scene's mesh quality. The default 1.0 leaves every
+  /// metric bitwise untouched.
+  void set_quality_scale(double scale);
+  double quality_scale() const { return quality_scale_; }
+
  private:
   void ensure_profiles();
 
@@ -136,6 +144,7 @@ class MarApp {
   std::unique_ptr<power::PowerManager> power_;
   std::vector<TaskId> task_order_;
   std::unique_ptr<ai::ProfileTable> profiles_;
+  double quality_scale_ = 1.0;
 };
 
 }  // namespace hbosim::app

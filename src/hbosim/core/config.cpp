@@ -7,6 +7,7 @@ namespace hbosim::core {
 void HboConfig::validate() const {
   HB_REQUIRE(w >= 0.0, "weight w must be non-negative");
   HB_REQUIRE(w_energy >= 0.0, "weight w_energy must be non-negative");
+  HB_REQUIRE(market_price >= 0.0, "market_price must be non-negative");
   HB_REQUIRE(n_initial >= 1, "need at least one initial configuration");
   HB_REQUIRE(n_iterations >= 0, "iteration count must be non-negative");
   HB_REQUIRE(selection_candidates >= 1, "need at least one selection candidate");

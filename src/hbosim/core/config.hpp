@@ -25,6 +25,14 @@ struct HboConfig {
   /// when the app simulates power (MarAppConfig::enable_power).
   double w_energy = 0.0;
 
+  /// Posted congestion price of the session's edge market (marketsvc):
+  /// extends the cost with market_price * triangle_ratio, charging a
+  /// configuration for the shared-resource appetite its triangle budget
+  /// implies. 0 by default, which reproduces the market-free cost bit
+  /// for bit; the fleet sets it from the allocator's price signal when
+  /// the Pricing policy runs.
+  double market_price = 0.0;
+
   /// Random configurations seeding the BO database D at each activation.
   int n_initial = 5;
   /// BO iterations following initialization (paper: 15; Fig. 6 uses 20).

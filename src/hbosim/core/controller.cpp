@@ -98,7 +98,7 @@ ActivationResult HboController::run_activation() {
         app_.run_period(cfg_.control_period_s);
     rec.quality = metrics.average_quality;
     rec.latency_ratio = metrics.latency_ratio;
-    rec.cost = cost_of(metrics, cfg_.w, cfg_.w_energy);
+    rec.cost = cost_of(metrics, cfg_.w, cfg_.w_energy, cfg_.market_price);
     optimizer_->tell(rec.z, rec.cost);
     result.history.push_back(std::move(rec));
   }
@@ -121,7 +121,7 @@ ActivationResult HboController::run_activation() {
     for (std::size_t i = 0; i < k; ++i) {
       apply_configuration(result.history[order[i]].z);
       const app::PeriodMetrics m = app_.run_period(cfg_.control_period_s);
-      const double c = cost_of(m, cfg_.w, cfg_.w_energy);
+      const double c = cost_of(m, cfg_.w, cfg_.w_energy, cfg_.market_price);
       if (c < best_validated) {
         best_validated = c;
         result.best_index = order[i];

@@ -20,4 +20,10 @@ double cost_of(const hbosim::app::PeriodMetrics& m, double w,
   return cost_of(m, w) + w_energy * m.avg_power_w;
 }
 
+double cost_of(const hbosim::app::PeriodMetrics& m, double w,
+               double w_energy, double market_price) {
+  if (market_price == 0.0) return cost_of(m, w, w_energy);
+  return cost_of(m, w, w_energy) + market_price * m.triangle_ratio;
+}
+
 }  // namespace hbosim::core

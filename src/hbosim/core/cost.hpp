@@ -27,4 +27,13 @@ double cost_of(const hbosim::app::PeriodMetrics& m, double w);
 double cost_of(const hbosim::app::PeriodMetrics& m, double w,
                double w_energy);
 
+/// Market-extended cost: the posted congestion price of the tenant's
+/// edge (marketsvc) charges the configuration's resource appetite,
+/// cost_of(m, w, w_energy) + market_price * m.triangle_ratio, steering
+/// HBO toward leaner configs while the shared box is expensive. Returns
+/// exactly the 3-arg form when market_price == 0 (no extra arithmetic),
+/// so market-free runs reproduce prior results bit for bit.
+double cost_of(const hbosim::app::PeriodMetrics& m, double w,
+               double w_energy, double market_price);
+
 }  // namespace hbosim::core

@@ -92,7 +92,7 @@ void MonitoredSession::activate() {
       controller_.apply_configuration(hit->z);
       app_.run_period(cfg_.hbo.monitor_period_s);  // settle
       const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
-      if (cost_of(m, cfg_.hbo.w, cfg_.hbo.w_energy) <=
+      if (cost_of(m, cfg_.hbo.w, cfg_.hbo.w_energy, cfg_.hbo.market_price) <=
           hit->cost + cfg_.warm_start_tolerance) {
         if (shared) lookup_.store(key, *hit);  // adopt the pooled solution
         record.warm_start = true;

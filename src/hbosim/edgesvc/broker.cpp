@@ -1,5 +1,6 @@
 #include "hbosim/edgesvc/broker.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -86,16 +87,108 @@ std::unique_ptr<EdgeClient> EdgeBroker::make_client(
                                       link, tenant_id, mix.next());
 }
 
+void EdgeBroker::enable_market(const marketsvc::MarketConfig& cfg) {
+  HB_REQUIRE(!allocator_, "market already enabled on this broker");
+  // The compute-demand seed uses the decimation service rate — the
+  // dominant mesh-bearing class; measured usage replaces it after the
+  // first epoch anyway.
+  allocator_ = std::make_unique<marketsvc::JointAllocator>(
+      cfg, static_cast<double>(spec_.server.cores), spec_.link.mbit_per_s,
+      spec_.server.decimation_ms_per_mtri * 1e-3);
+}
+
+marketsvc::JointAllocator& EdgeBroker::market() {
+  HB_REQUIRE(allocator_, "enable_market() was never called on this broker");
+  return *allocator_;
+}
+
+const marketsvc::JointAllocator& EdgeBroker::market() const {
+  HB_REQUIRE(allocator_, "enable_market() was never called on this broker");
+  return *allocator_;
+}
+
+std::unique_ptr<EdgeClient> EdgeBroker::make_market_client(
+    const marketsvc::TenantAllocation& alloc,
+    std::uint64_t session_seed) const {
+  HB_REQUIRE(allocator_,
+             "enable_market() must precede make_market_client()");
+  LinkModelConfig link = spec_.link;
+  BackgroundLoadConfig bg = spec_.background;
+  std::size_t bg_tenants = 1;  // the decided rate is already an aggregate
+  if (alloc.admitted) {
+    // Decided background replaces the static per-tenant guesses: the
+    // mirror contends with exactly the link activity and request stream
+    // the allocator admitted for the *other* tenants.
+    link.background_flows = alloc.bg_flows;
+    bg.per_tenant_rps = alloc.bg_rps;
+    if (alloc.bg_mean_units > 0.0) bg.mean_units = alloc.bg_mean_units;
+  } else {
+    // Scavenger class: a sliver of the downlink, no reserved compute
+    // mirror load — requests mostly blow the timeout and the session
+    // degrades through its on-device fallback path, which is the point.
+    link.background_flows = 0.0;
+    link.mbit_per_s =
+        std::max(kMinLinkMbitPerS,
+                 spec_.link.mbit_per_s *
+                     allocator_->config().denied_bandwidth_frac);
+    bg_tenants = 0;
+  }
+  // Same decorrelation as make_client, so a tenant's edge randomness
+  // stays a pure function of its session seed either way.
+  SplitMix64 mix(spec_.seed_salt ^
+                 (session_seed * 0x9E3779B97F4A7C15ull + 0x1CEB00DAull));
+  auto client = std::make_unique<EdgeClient>(spec_.client, spec_.server, bg,
+                                             bg_tenants, link, alloc.tenant,
+                                             mix.next());
+  client->set_resolution(alloc.resolution);
+  return client;
+}
+
 void EdgeBroker::absorb(const EdgeClient& client) {
+  // Split the absorbed stats: integer counters merge eagerly (commutative
+  // sums), floating-point totals are retained per tenant and re-summed in
+  // tenant-id order at stats() time so the roll-up does not depend on the
+  // completion order of worker threads.
+  EdgeClientStats cs = client.stats();
+  EdgeServerStats ss = client.server().stats();
+  AbsorbedTotals totals;
+  totals.client_elapsed_s = cs.total_elapsed_s;
+  totals.client_units = cs.units;
+  totals.client_own_service_s = cs.own_service_s;
+  totals.server_wait_s = ss.total_wait_s;
+  totals.server_service_s = ss.total_service_s;
+  cs.total_elapsed_s = 0.0;
+  cs.units = 0.0;
+  cs.own_service_s = 0.0;
+  ss.total_wait_s = 0.0;
+  ss.total_service_s = 0.0;
+
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.client.merge(client.stats());
-  stats_.server.merge(client.server().stats());
+  stats_.client.merge(cs);
+  stats_.server.merge(ss);
+  AbsorbedTotals& acc = absorbed_[client.tenant()];
+  acc.client_elapsed_s += totals.client_elapsed_s;
+  acc.client_units += totals.client_units;
+  acc.client_own_service_s += totals.client_own_service_s;
+  acc.server_wait_s += totals.server_wait_s;
+  acc.server_service_s += totals.server_service_s;
   ++stats_.clients_absorbed;
 }
 
 EdgeFleetStats EdgeBroker::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  EdgeFleetStats out = stats_;
+  // Deterministic re-summation: tenant-id order, whatever order the
+  // worker threads finished in.
+  for (const auto& [tenant, totals] : absorbed_) {
+    (void)tenant;
+    out.client.total_elapsed_s += totals.client_elapsed_s;
+    out.client.units += totals.client_units;
+    out.client.own_service_s += totals.client_own_service_s;
+    out.server.total_wait_s += totals.server_wait_s;
+    out.server.total_service_s += totals.server_service_s;
+  }
+  return out;
 }
 
 }  // namespace hbosim::edgesvc

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string_view>
 
 #include "hbosim/edgesvc/edge_client.hpp"
+#include "hbosim/marketsvc/allocator.hpp"
 
 /// \file broker.hpp
 /// The fleet-facing entry point of hbosim::edgesvc: one EdgeBroker stands
@@ -64,8 +66,34 @@ class EdgeBroker {
   std::unique_ptr<EdgeClient> make_client(std::uint64_t tenant_id,
                                           std::uint64_t session_seed) const;
 
+  // --- The edge as an actor (marketsvc) ---------------------------------
+
+  /// Attach the cross-tenant JointAllocator, turning the broker from a
+  /// bookkeeper into an actor. Call once, before any market client is
+  /// handed out; the fleet then drives market().tick()/observe() at its
+  /// epoch barriers (main thread, session-id order).
+  void enable_market(const marketsvc::MarketConfig& cfg);
+  bool market_enabled() const { return allocator_ != nullptr; }
+  marketsvc::JointAllocator& market();
+  const marketsvc::JointAllocator& market() const;
+
+  /// Build the mirror client honoring one tick decision: the mirror's
+  /// link share and background process carry the *decided* activity of
+  /// the other admitted tenants instead of the static per-tenant guess,
+  /// the resolution knob is pre-set, and a denied tenant gets the
+  /// scavenger-class link (its requests mostly time out into on-device
+  /// fallbacks). Deterministic in (spec, allocation, session_seed);
+  /// callable from any thread.
+  std::unique_ptr<EdgeClient> make_market_client(
+      const marketsvc::TenantAllocation& alloc,
+      std::uint64_t session_seed) const;
+
   /// Fold a finished client's statistics into the fleet view
   /// (thread-safe; call once per client, after its session completed).
+  /// Aggregation is order-independent: integer counters are commutative
+  /// sums, and floating-point totals are retained per tenant and re-summed
+  /// in tenant-id order at stats() time, so the roll-up is bitwise
+  /// identical no matter how absorb() calls interleave across threads.
   void absorb(const EdgeClient& client);
 
   EdgeFleetStats stats() const;
@@ -74,11 +102,24 @@ class EdgeBroker {
   std::size_t background_tenants() const { return background_tenants_; }
 
  private:
+  /// Floating-point totals of one absorbed tenant, kept out of the eager
+  /// merge so stats() can sum them in a thread-count-invariant order.
+  struct AbsorbedTotals {
+    double client_elapsed_s = 0.0;
+    double client_units = 0.0;
+    double client_own_service_s = 0.0;
+    double server_wait_s = 0.0;
+    double server_service_s = 0.0;
+  };
+
   EdgeServiceSpec spec_;
   std::size_t background_tenants_;
+  std::unique_ptr<marketsvc::JointAllocator> allocator_;
 
   mutable std::mutex mu_;
   EdgeFleetStats stats_;
+  /// Keyed by tenant id; std::map so stats() re-sums in sorted order.
+  std::map<std::uint64_t, AbsorbedTotals> absorbed_;
 };
 
 }  // namespace hbosim::edgesvc

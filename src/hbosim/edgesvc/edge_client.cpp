@@ -32,6 +32,15 @@ void EdgeClientStats::merge(const EdgeClientStats& other) {
   timeout_attempts += other.timeout_attempts;
   lost_attempts += other.lost_attempts;
   total_elapsed_s += other.total_elapsed_s;
+  payload_bytes += other.payload_bytes;
+  units += other.units;
+  own_service_s += other.own_service_s;
+}
+
+void EdgeClient::set_resolution(double r) {
+  HB_REQUIRE(std::isfinite(r) && r > 0.0 && r <= 1.0,
+             "edge client resolution must be in (0, 1]");
+  resolution_ = r;
 }
 
 EdgeClient::EdgeClient(EdgeClientConfig cfg, const EdgeServerSpec& server,
@@ -59,6 +68,15 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
                                  std::uint64_t payload_bytes, double now_s) {
   HB_REQUIRE(std::isfinite(now_s) && now_s >= 0.0,
              "edge request time must be finite and >= 0");
+  if (resolution_ != 1.0 && cls != RequestClass::RemoteBo) {
+    // Market-trimmed tenant: mesh area (and with it server work and
+    // response size) shrinks with the resolution squared. Guarded so the
+    // default knob leaves the request path bitwise untouched.
+    const double area = resolution_ * resolution_;
+    units *= area;
+    payload_bytes = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(payload_bytes) * area));
+  }
   ++stats_.requests;
   HB_TELEM_COUNT("edge.requests", 1.0);
 
@@ -101,7 +119,12 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
       continue;
     }
 
-    // Served: the response (real payload) crosses the shared link.
+    // Served: the response (real payload) crosses the shared link. The
+    // attempt's demand is booked here — a lost or late response still
+    // burned the core and occupied the downlink.
+    stats_.units += units;
+    stats_.own_service_s += server_.spec().service_seconds(cls, units);
+    stats_.payload_bytes += payload_bytes;
     const LinkSample down = link_.sample(payload_bytes, rng_);
     if (down.lost) {
       out.last_status = EdgeStatus::LinkLost;

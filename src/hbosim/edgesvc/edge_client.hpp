@@ -71,6 +71,11 @@ struct EdgeClientStats {
   std::uint64_t timeout_attempts = 0;
   std::uint64_t lost_attempts = 0;
   double total_elapsed_s = 0.0;  ///< Summed perform() elapsed times.
+  /// Downlink demand actually placed on the shared link: response bytes
+  /// of every served attempt (lost/late ones still occupied the medium).
+  std::uint64_t payload_bytes = 0;
+  double units = 0.0;          ///< Request sizes (mtri) that reached a core.
+  double own_service_s = 0.0;  ///< Core-seconds burned by own requests.
 
   double fallback_rate() const {
     return requests ? static_cast<double>(fallbacks) /
@@ -97,6 +102,13 @@ class EdgeClient {
   /// excluded — exposed so tests can pin the schedule.
   double nominal_backoff_s(int retry) const;
 
+  /// Resolution knob assigned by the market (marketsvc): mesh-bearing
+  /// requests (Decimation, MeshTransfer) shrink with the resolution area,
+  /// scaling `units` and `payload_bytes` by r^2. At the default 1.0 the
+  /// request path is bitwise identical to a knob-free client.
+  void set_resolution(double r);
+  double resolution() const { return resolution_; }
+
   const EdgeClientStats& stats() const { return stats_; }
   const EdgeServerSim& server() const { return server_; }
   EdgeServerSim& server() { return server_; }
@@ -110,6 +122,7 @@ class EdgeClient {
   LinkModel link_;
   Rng rng_;
   std::uint64_t tenant_;
+  double resolution_ = 1.0;
   EdgeClientStats stats_;
 };
 

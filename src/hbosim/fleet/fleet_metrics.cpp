@@ -76,6 +76,17 @@ void FleetAccumulator::add(const SessionResult& s) {
   totals_.edge.fallbacks += s.edge_fallbacks;
   totals_.edge.decim_fallbacks += s.edge_decim_fallbacks;
   totals_.edge.bo_fallbacks += s.edge_bo_fallbacks;
+  // Market roll-up: sums and id-order-fed summaries only, so the result
+  // is identical on 1 and N fleet threads (like the sched roll-up).
+  if (s.market_session) {
+    ++market_sessions_;
+    if (s.market_denied) ++totals_.market.denied_sessions;
+    if (mode_ == Mode::Exact) {
+      market_res_.push_back(s.market_resolution);
+    } else {
+      s_market_res_.add(s.market_resolution);
+    }
+  }
   // Power roll-up: a session that ran with a power model always draws at
   // least the base system load, so energy > 0 identifies power-enabled
   // fleets without an extra flag threading through the call chain. The
@@ -132,6 +143,7 @@ FleetMetrics FleetAccumulator::finalize(
     out.total_sim_seconds = 0.0;
     out.power = FleetMetrics::PowerHealth{};
     out.sched = FleetMetrics::SchedHealth{};
+    out.market = FleetMetrics::MarketHealth{};
     return out;
   }
 
@@ -161,6 +173,18 @@ FleetMetrics FleetAccumulator::finalize(
         static_cast<double>(count_);
   } else {
     out.power = FleetMetrics::PowerHealth{};
+  }
+
+  if (market_sessions_ > 0) {
+    out.market.enabled = true;
+    out.market.resolution = mode_ == Mode::Exact
+                                ? summarize_metric(market_res_)
+                                : s_market_res_.summary();
+    out.market.admission_rate =
+        1.0 - static_cast<double>(out.market.denied_sessions) /
+                  static_cast<double>(market_sessions_);
+  } else {
+    out.market = FleetMetrics::MarketHealth{};
   }
 
   if (sched_sessions_ > 0) {

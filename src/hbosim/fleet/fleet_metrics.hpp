@@ -58,6 +58,20 @@ struct SessionResult {
   std::uint64_t edge_fallbacks = 0;         ///< Requests that gave up (any class).
   std::uint64_t edge_decim_fallbacks = 0;   ///< Served a nearest-cached LOD.
   std::uint64_t edge_bo_fallbacks = 0;      ///< Store fetch fell back to local BO.
+  // Measured edge demand (feeds the market's learning loop, and gives the
+  // saturation bench a per-tenant end-to-end response-time figure).
+  std::uint64_t edge_payload_bytes = 0;  ///< Downlink bytes moved.
+  double edge_units = 0.0;               ///< Request sizes (mtri) served.
+  double edge_service_s = 0.0;           ///< Core-seconds of own requests.
+  double edge_elapsed_s = 0.0;           ///< Summed perform() elapsed time.
+
+  // Market allocation this tenant ran under (see hbosim::marketsvc). All
+  // neutral when the fleet runs without FleetSpec::market.
+  bool market_session = false;     ///< Session ran under the allocator.
+  bool market_denied = false;      ///< Bumped to the best-effort class.
+  double market_resolution = 1.0;  ///< Resolution knob assigned.
+  double market_bandwidth_frac = 1.0;  ///< Decided link share.
+  double market_price = 0.0;           ///< Posted price the tenant saw.
 
   // Power/thermal roll-up (all neutral when the fleet runs without a
   // power model; see FleetSpec::use_power_model).
@@ -167,6 +181,24 @@ struct FleetMetrics {
   };
   PolicyHealth policy;
 
+  /// Fleet-level resource-market roll-up (see hbosim::marketsvc and
+  /// FleetSpec::market). All-neutral when the fleet ran without the
+  /// JointAllocator (enabled == false).
+  struct MarketHealth {
+    bool enabled = false;
+    std::string policy;       ///< "pf", "maxmin" or "price".
+    std::size_t ticks = 0;    ///< Allocator epochs (barrier ticks) run.
+    std::size_t denied_sessions = 0;  ///< Tenants bumped to best effort.
+    /// Admitted tenants as a fraction of market sessions, in [0, 1].
+    double admission_rate = 1.0;
+    /// Distribution of the per-session resolution knob.
+    MetricSummary resolution;
+    double link_activity = 0.0;        ///< Decided, last tick.
+    double compute_utilization = 0.0;  ///< Decided, last tick.
+    double final_price = 0.0;          ///< Posted price after last tick.
+  };
+  MarketHealth market;
+
   /// Scheduler forensics roll-up across sessions (des::SchedAnalyzer per
   /// session, aggregated in session-id order — every field below is also
   /// order-independent, so the roll-up is identical on 1 and N fleet
@@ -242,16 +274,19 @@ class FleetAccumulator {
   std::size_t throttled_sessions_ = 0;
   std::size_t sched_sessions_ = 0;    ///< Sessions that carried a trace.
   std::size_t starved_sessions_ = 0;  ///< Traced sessions with starvation.
+  std::size_t market_sessions_ = 0;   ///< Sessions run under the allocator.
 
   // Mode Exact: retained samples, summarized (sort-once) at finalize.
   std::vector<double> quality_, eps_, reward_;
   std::vector<double> watts_, temps_, drains_;
   std::vector<double> sched_p99s_;
+  std::vector<double> market_res_;
 
   // Mode Streaming: O(1) sketches.
   StreamingSummary s_quality_, s_eps_, s_reward_;
   StreamingSummary s_watts_, s_temps_, s_drains_;
   StreamingSummary s_sched_p99s_;
+  StreamingSummary s_market_res_;
 };
 
 /// Roll per-session results up into fleet-wide metrics — the exact path,

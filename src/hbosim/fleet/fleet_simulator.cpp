@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <future>
 #include <utility>
@@ -73,6 +74,40 @@ void FleetSpec::validate() const {
   for (const DeviceMixEntry& d : devices)
     soc::find_builtin(d.device);  // throws for unknown names
   if (use_edge_service) edge.validate();
+  if (edge_static_resolution != 1.0) {
+    HB_REQUIRE(edge_static_resolution > 0.0 && edge_static_resolution <= 1.0,
+               "FleetSpec::edge_static_resolution must be in (0, 1]");
+    HB_REQUIRE(use_edge_service,
+               "FleetSpec::edge_static_resolution trims the edge clients' "
+               "mesh work — it needs use_edge_service");
+    HB_REQUIRE(!market.enabled,
+               "FleetSpec::edge_static_resolution and FleetSpec::market "
+               "both drive the resolution knob — pin it statically or let "
+               "the JointAllocator assign it, not both");
+  }
+  if (market.enabled) {
+    // Misconfigured markets fail loudly up front (satellite of the
+    // marketsvc work): each rejected combination below would otherwise
+    // run and silently produce meaningless or nondeterministic results.
+    HB_REQUIRE(use_edge_service,
+               "FleetSpec::market requires use_edge_service — the "
+               "JointAllocator allocates the shared edge box, so there is "
+               "nothing to allocate without one (set use_edge_service and "
+               "FleetSpec::edge, or disable FleetSpec::market)");
+    HB_REQUIRE(!use_shared_pool,
+               "FleetSpec::market cannot run with use_shared_pool — pool "
+               "warm starts depend on session completion order, which "
+               "would break the market epoch's bit-identical 1-vs-N-thread "
+               "guarantee (disable one of the two)");
+    HB_REQUIRE(policy.mode == PolicyMode::Off,
+               "FleetSpec::market and FleetSpec::policy both own the "
+               "epoch barrier — run the market and the learned policy "
+               "layer in separate fleets");
+    HB_REQUIRE(market.epoch_sessions >= 1,
+               "FleetSpec::market.epoch_sessions needs at least one "
+               "session per broker tick");
+    market.allocator.validate();
+  }
   if (policy.mode != PolicyMode::Off) {
     HB_REQUIRE(policy.epoch_sessions >= 1,
                "policy epochs need at least one session");
@@ -164,11 +199,29 @@ PolicySessionOutput FleetSimulator::run_policy_session(
   return out;
 }
 
+SessionResult FleetSimulator::run_market_session(
+    const SessionSpec& spec,
+    const marketsvc::TenantAllocation& alloc) const {
+  if (!spec_.use_session_arena) {
+    return run_policy_session_impl(spec, nullptr, nullptr, nullptr, &alloc)
+        .result;
+  }
+  Arena& arena = session_arena();
+  SessionResult out;
+  {
+    ArenaScope scope(arena);
+    out = run_policy_session_impl(spec, nullptr, nullptr, nullptr, &alloc)
+              .result;
+  }
+  arena.reset();
+  return out;
+}
+
 PolicySessionOutput FleetSimulator::run_policy_session_impl(
     const SessionSpec& spec,
     std::shared_ptr<const policy::PriorSnapshot> priors,
     std::shared_ptr<const policy::LinUcbBandit> bandit,
-    des::SchedTrace* trace) const {
+    des::SchedTrace* trace, const marketsvc::TenantAllocation* market) const {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Telemetry: name this worker's wall-clock track, route the session's
@@ -224,8 +277,25 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
 
   std::unique_ptr<edgesvc::EdgeClient> edge_client;
   if (broker_) {
-    edge_client = broker_->make_client(spec.id, spec.seed);
+    edge_client = market != nullptr
+                      ? broker_->make_market_client(*market, spec.seed)
+                      : broker_->make_client(spec.id, spec.seed);
     app->attach_edge(edge_client.get());
+  }
+  if (market != nullptr && market->resolution != 1.0) {
+    // The assigned resolution trims perceived quality (r^gamma) on top of
+    // the r^2 payload/work scaling the edge client applies.
+    app->set_quality_scale(std::pow(
+        market->resolution, broker_->market().config().resolution_gamma));
+  } else if (market == nullptr && edge_client &&
+             spec_.edge_static_resolution != 1.0) {
+    // Static-trim baseline: the same r^2 shedding and r^gamma quality
+    // scale a market session applies, minus the joint allocation — the
+    // mirror background stays the full-resolution static guess.
+    edge_client->set_resolution(spec_.edge_static_resolution);
+    app->set_quality_scale(std::pow(
+        spec_.edge_static_resolution,
+        spec_.market.allocator.resolution_gamma));
   }
 
   if (bandit) {
@@ -248,6 +318,10 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
   } else {
     core::MonitoredSessionConfig cfg = spec_.session;
     cfg.hbo.seed = spec.seed;
+    // The tenant-visible price signal: HBO's cost charges the triangle
+    // budget at the posted price, so expensive epochs steer the optimizer
+    // toward leaner configurations (0 under PF/MaxMin — no cost change).
+    if (market != nullptr) cfg.hbo.market_price = market->price;
     if (pool_) cfg.use_lookup_table = true;
     core::MonitoredSession session(*app, cfg);
     if (edge_client) session.set_edge(edge_client.get());
@@ -316,7 +390,18 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
     out.edge_timeout_attempts = es.timeout_attempts;
     out.edge_fallbacks = es.fallbacks;
     out.edge_decim_fallbacks = app->decimation().edge_fallbacks();
+    out.edge_payload_bytes = es.payload_bytes;
+    out.edge_units = es.units;
+    out.edge_service_s = es.own_service_s;
+    out.edge_elapsed_s = es.total_elapsed_s;
     broker_->absorb(*edge_client);
+  }
+  if (market != nullptr) {
+    out.market_session = true;
+    out.market_denied = !market->admitted;
+    out.market_resolution = market->resolution;
+    out.market_bandwidth_frac = market->bandwidth_frac;
+    out.market_price = market->price;
   }
   if (const power::PowerManager* pm = app->power()) {
     const power::PowerStats ps = pm->stats();
@@ -364,6 +449,7 @@ FleetResult FleetSimulator::run() {
   if (spec_.use_edge_service) {
     broker_ =
         std::make_unique<edgesvc::EdgeBroker>(spec_.edge, spec_.sessions);
+    if (spec_.market.enabled) broker_->enable_market(spec_.market.allocator);
   }
   prior_store_.reset();
   bandit_.reset();
@@ -399,7 +485,51 @@ FleetResult FleetSimulator::run() {
     }
   };
 
-  if (spec_.policy.mode == PolicyMode::Off) {
+  if (spec_.market.enabled) {
+    // Market epoch loop: every epoch the broker's JointAllocator ticks
+    // once over the epoch's tenants (main thread, session-id order),
+    // the sessions run concurrently against that frozen decision vector,
+    // and at the barrier the allocator observes what each tenant actually
+    // consumed — again in session-id order. Tick inputs, decisions, and
+    // feed order are all pure functions of the spec, so a market fleet is
+    // bit-identical on 1 and N threads (same recipe as the policy loop).
+    ThreadPool workers(threads);
+    marketsvc::JointAllocator& allocator = broker_->market();
+    const std::size_t epoch = spec_.market.epoch_sessions;
+    for (std::size_t start = 0; start < spec_.sessions; start += epoch) {
+      HB_TRACE_SCOPE("fleet", "fleet.market_epoch");
+      const std::size_t end = std::min(start + epoch, spec_.sessions);
+      std::vector<marketsvc::TenantDemand> demands;
+      demands.reserve(end - start);
+      for (std::size_t id = start; id < end; ++id) {
+        marketsvc::TenantDemand d;
+        d.tenant = id;
+        demands.push_back(d);
+      }
+      auto allocations =
+          std::make_shared<const std::vector<marketsvc::TenantAllocation>>(
+              allocator.tick(demands));
+      std::vector<std::future<SessionResult>> futures;
+      futures.reserve(end - start);
+      for (std::size_t id = start; id < end; ++id) {
+        futures.push_back(workers.submit(
+            [this, spec = session_spec(id), allocations, i = id - start] {
+              return run_market_session(spec, (*allocations)[i]);
+            }));
+      }
+      for (std::future<SessionResult>& f : futures) {
+        SessionResult r = f.get();
+        marketsvc::MeasuredUsage usage;
+        usage.payload_bytes = r.edge_payload_bytes;
+        usage.requests = r.edge_requests;
+        usage.units = r.edge_units;
+        usage.service_s = r.edge_service_s;
+        usage.duration_s = r.sim_seconds;
+        allocator.observe(r.session_id, usage, r.market_resolution);
+        consume(std::move(r));
+      }
+    }
+  } else if (spec_.policy.mode == PolicyMode::Off) {
     // Bounded in-flight window: submit ahead of consumption by enough to
     // keep every worker fed, but consume (in id order) as futures at the
     // window's head complete, so retained memory is O(threads) — not
@@ -470,6 +600,16 @@ FleetResult FleetSimulator::run() {
       broker_ ? broker_->stats() : edgesvc::EdgeFleetStats{};
   out.metrics = acc.finalize(seconds_since(t0), pool_stats,
                              broker_ ? &edge_stats : nullptr);
+  if (spec_.market.enabled) {
+    FleetMetrics::MarketHealth& mh = out.metrics.market;
+    mh.enabled = true;
+    mh.policy = marketsvc::market_policy_name(spec_.market.allocator.policy);
+    mh.ticks = broker_->market().ticks();
+    const marketsvc::MarketTickStats& last = broker_->market().last();
+    mh.link_activity = last.link_activity;
+    mh.compute_utilization = last.compute_utilization;
+    mh.final_price = last.price;
+  }
   if (spec_.policy.mode != PolicyMode::Off) {
     FleetMetrics::PolicyHealth& ph = out.metrics.policy;
     ph.enabled = true;

@@ -81,6 +81,22 @@ struct FleetPolicyConfig {
   policy::BanditConfig bandit;     ///< Mode Bandit knobs.
 };
 
+/// The edge as an actor (hbosim::marketsvc): per-epoch broker ticks of a
+/// cross-tenant JointAllocator decide each tenant's link share, compute
+/// share, resolution knob, and (Pricing policy) admission + price signal.
+/// Same determinism recipe as the policy layer: sessions of an epoch run
+/// against one frozen decision vector, and the allocator is ticked/fed
+/// only at the barrier, on the main thread, in session-id order — so a
+/// market fleet is bit-identical on 1 and N threads. Disabled, the fleet
+/// reproduces the mirror-based path bit for bit.
+struct FleetMarketConfig {
+  bool enabled = false;
+  /// Tenants per broker tick (one allocation round per epoch).
+  std::size_t epoch_sessions = 32;
+  /// Policy, budgets, pricing knobs (see marketsvc::MarketConfig).
+  marketsvc::MarketConfig allocator;
+};
+
 struct FleetSpec {
   std::size_t sessions = 256;
   /// Worker threads; 0 means ThreadPool::hardware_threads().
@@ -114,6 +130,22 @@ struct FleetSpec {
   /// per-session results stay bit-identical across thread counts.
   bool use_edge_service = false;
   edgesvc::EdgeServiceSpec edge;
+
+  /// Statically pin every session's edge resolution knob to this value
+  /// (in (0, 1]; 1.0 is the historical full-resolution path, bit for
+  /// bit). This is the "quality manipulation without joint allocation"
+  /// baseline: every tenant sheds r^2 payload/work and reports r^gamma
+  /// quality exactly as a market session would, but keeps the *static*
+  /// mirror background guess — nobody learns that the others trimmed
+  /// too. Requires use_edge_service; mutually exclusive with
+  /// market.enabled (the allocator owns the knob there). The perceptual
+  /// exponent is market.allocator.resolution_gamma in both paths.
+  double edge_static_resolution = 1.0;
+
+  /// Make that edge an actor: the broker's JointAllocator jointly assigns
+  /// spectrum, compute, and per-tenant resolution on every epoch tick.
+  /// Requires use_edge_service (the allocator needs a box to allocate).
+  FleetMarketConfig market;
 
   /// Attach the battery/thermal/DVFS model (hbosim::power) to every
   /// session. Each session's PowerManager lives on that session's own
@@ -229,6 +261,16 @@ class FleetSimulator {
       std::shared_ptr<const policy::PriorSnapshot> priors,
       std::shared_ptr<const policy::LinUcbBandit> bandit) const;
 
+  /// Simulate one session under a frozen market tick decision: the edge
+  /// client carries the allocator's decided background and resolution,
+  /// the session's HBO cost carries the posted price, and the reported
+  /// quality carries the resolution's perceptual scale. Pure function of
+  /// (spec, allocation) — callable from any worker thread. Requires the
+  /// broker to exist with its market enabled (i.e. inside run()).
+  SessionResult run_market_session(
+      const SessionSpec& spec,
+      const marketsvc::TenantAllocation& alloc) const;
+
   /// Run the whole fleet (blocking). Safe to call repeatedly; each call
   /// starts from a fresh pool/store/learner.
   FleetResult run();
@@ -246,12 +288,16 @@ class FleetSimulator {
  private:
   /// The session body; run_policy_session wraps it in the per-worker
   /// ArenaScope when FleetSpec::use_session_arena is set. A non-null
-  /// `trace` (run_session_traced) overrides the spec-owned sched trace.
+  /// `trace` (run_session_traced) overrides the spec-owned sched trace;
+  /// a non-null `market` (run_market_session) swaps the mirror client
+  /// for the allocator's market client and applies the decision's
+  /// resolution/price to the session.
   PolicySessionOutput run_policy_session_impl(
       const SessionSpec& spec,
       std::shared_ptr<const policy::PriorSnapshot> priors,
       std::shared_ptr<const policy::LinUcbBandit> bandit,
-      des::SchedTrace* trace = nullptr) const;
+      des::SchedTrace* trace = nullptr,
+      const marketsvc::TenantAllocation* market = nullptr) const;
 
   FleetSpec spec_;
   std::unique_ptr<SharedSolutionPool> pool_;

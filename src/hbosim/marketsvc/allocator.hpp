@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hbosim/marketsvc/market.hpp"
+
+/// \file allocator.hpp
+/// The cross-tenant JointAllocator: one deterministic solver that, per
+/// epoch tick, jointly assigns shared-link activity shares, edge compute
+/// shares and per-tenant resolution levels under the MarketConfig budgets.
+///
+/// Determinism contract: tick() and observe() are pure functions of the
+/// allocator's state and their arguments — no clocks, no RNG, no
+/// iteration over unordered containers. The fleet calls both only at
+/// epoch barriers on the main thread, in session-id order, so a
+/// market-enabled fleet is bit-identical on 1 and N worker threads.
+
+namespace hbosim::marketsvc {
+
+class JointAllocator {
+ public:
+  /// \param cores            Edge server cores backing the compute budget.
+  /// \param link_mbit_per_s  Nominal shared downlink rate, used to turn
+  ///                         measured payload bytes back into flow duty
+  ///                         cycles when learning demand.
+  /// \param service_s_per_unit  Representative service cost (seconds per
+  ///                         mega-triangle on one core) used to seed the
+  ///                         compute-demand estimate before anything was
+  ///                         measured.
+  JointAllocator(MarketConfig cfg, double cores, double link_mbit_per_s,
+                 double service_s_per_unit);
+
+  /// Solve one epoch: decide resolution, bandwidth share, compute share
+  /// and mirror background parameters for every tenant in `demands`.
+  /// Output order matches input order (the fleet passes session-id
+  /// order). Demand fields left negative fall back to the learned (or
+  /// initial) per-tenant estimates.
+  std::vector<TenantAllocation> tick(const std::vector<TenantDemand>& demands);
+
+  /// Fold one finished tenant's measured usage into its demand estimate.
+  /// `resolution` is the knob the tenant ran at, so measurements can be
+  /// rescaled to the r = 1 reference the budgets are expressed in.
+  void observe(std::uint64_t tenant, const MeasuredUsage& usage,
+               double resolution);
+
+  /// Posted congestion price (Pricing policy; constant 0 otherwise).
+  double price() const { return price_; }
+
+  const MarketConfig& config() const { return cfg_; }
+  /// Stats of the most recent tick ({} before the first).
+  const MarketTickStats& last() const { return last_; }
+  std::size_t ticks() const { return ticks_; }
+
+ private:
+  /// Learned per-tenant demand at the r = 1 reference resolution.
+  struct Demand {
+    double flow = 0.0;   ///< Concurrent link-flow duty cycle.
+    double rps = 0.0;    ///< Requests per second.
+    double units = 0.0;  ///< Mean request size (mega-triangles).
+    double svc = 0.0;    ///< Service core-seconds per request.
+  };
+
+  Demand resolve_demand(const TenantDemand& d) const;
+
+  /// x_i = r_i^2 for every tenant, given footprints a (link) and c
+  /// (compute) — the policy-specific core of tick().
+  std::vector<double> solve(const std::vector<TenantDemand>& demands,
+                            const std::vector<double>& a,
+                            const std::vector<double>& c,
+                            std::vector<bool>& admitted);
+
+  MarketConfig cfg_;
+  double cores_;
+  double link_mbit_per_s_;
+  Demand initial_;
+  /// std::map (not unordered) so any future iteration stays deterministic.
+  std::map<std::uint64_t, Demand> learned_;
+  double price_ = 0.0;
+  MarketTickStats last_;
+  std::size_t ticks_ = 0;
+};
+
+}  // namespace hbosim::marketsvc

@@ -1,0 +1,65 @@
+#include "hbosim/marketsvc/market.hpp"
+
+#include <string>
+
+#include "hbosim/common/error.hpp"
+
+namespace hbosim::marketsvc {
+
+const char* market_policy_name(MarketPolicy p) {
+  switch (p) {
+    case MarketPolicy::ProportionalFair:
+      return "pf";
+    case MarketPolicy::MaxMin:
+      return "maxmin";
+    case MarketPolicy::Pricing:
+      return "price";
+  }
+  return "?";
+}
+
+MarketPolicy market_policy_from_name(std::string_view name) {
+  if (name == "pf" || name == "proportional-fair") {
+    return MarketPolicy::ProportionalFair;
+  }
+  if (name == "maxmin" || name == "max-min") {
+    return MarketPolicy::MaxMin;
+  }
+  if (name == "price" || name == "pricing") {
+    return MarketPolicy::Pricing;
+  }
+  HB_REQUIRE(false, "unknown market policy '" + std::string(name) +
+                        "' (expected pf, maxmin or price)");
+}
+
+void MarketConfig::validate() const {
+  HB_REQUIRE(min_resolution > 0.0 && min_resolution <= 1.0,
+             "MarketConfig::min_resolution must be in (0, 1]");
+  HB_REQUIRE(resolution_gamma > 0.0,
+             "MarketConfig::resolution_gamma must be positive");
+  HB_REQUIRE(max_link_activity > 0.0,
+             "MarketConfig::max_link_activity must be positive");
+  HB_REQUIRE(
+      max_compute_utilization > 0.0 && max_compute_utilization <= 1.0,
+      "MarketConfig::max_compute_utilization must be in (0, 1]");
+  HB_REQUIRE(demand_smoothing > 0.0 && demand_smoothing <= 1.0,
+             "MarketConfig::demand_smoothing must be in (0, 1]");
+  HB_REQUIRE(initial_flow_activity > 0.0,
+             "MarketConfig::initial_flow_activity must be positive");
+  HB_REQUIRE(initial_request_rps > 0.0,
+             "MarketConfig::initial_request_rps must be positive");
+  HB_REQUIRE(initial_mean_units > 0.0,
+             "MarketConfig::initial_mean_units must be positive");
+  HB_REQUIRE(initial_price > 0.0,
+             "MarketConfig::initial_price must be positive");
+  HB_REQUIRE(price_step > 0.0, "MarketConfig::price_step must be positive");
+  HB_REQUIRE(max_price_step > 0.0 && max_price_step < 1.0,
+             "MarketConfig::max_price_step must be in (0, 1)");
+  HB_REQUIRE(min_price > 0.0, "MarketConfig::min_price must be positive");
+  HB_REQUIRE(tenant_budget > 0.0,
+             "MarketConfig::tenant_budget must be positive");
+  HB_REQUIRE(denied_bandwidth_frac > 0.0 && denied_bandwidth_frac <= 1.0,
+             "MarketConfig::denied_bandwidth_frac must be in (0, 1]");
+}
+
+}  // namespace hbosim::marketsvc

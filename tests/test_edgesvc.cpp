@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
@@ -96,6 +97,46 @@ TEST(LinkModel, BandwidthSharingDividesThroughput) {
   const double bits = 1e6 * 8.0;
   EXPECT_DOUBLE_EQ(link.nominal_seconds(1'000'000),
                    0.020 + bits / (30.0 * 1e6));
+}
+
+TEST(LinkModel, StreamingTransferSettlesAtTheOldRateOnReShare) {
+  LinkModel link;  // 120 Mbit/s, no sharing: 15 MB takes exactly 1 s
+  link.begin_transfer(15'000'000, 0.0);
+  ASSERT_TRUE(link.transfer_active());
+  EXPECT_DOUBLE_EQ(link.transfer_completion_s(), 1.0);
+
+  // Halfway through, the allocator admits a second flow. The first 0.5 s
+  // of progress was earned at the full 120 Mbit/s...
+  link.set_background_flows(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(link.transfer_remaining_bytes(0.5), 7'500'000.0);
+  // ...and the rest drains at the halved rate: done at 0.5 + 1.0.
+  EXPECT_DOUBLE_EQ(link.transfer_completion_s(), 1.5);
+  EXPECT_DOUBLE_EQ(link.transfer_remaining_bytes(1.5), 0.0);
+  EXPECT_FALSE(link.transfer_active());
+}
+
+TEST(LinkModel, UnchangedReShareIsAStrictNoOp) {
+  // Mirroring PsResource::set_capacity: setting the value already in
+  // force must not settle progress (repeated settles at the same rate
+  // could drift the remaining bytes by rounding).
+  LinkModelConfig cfg;
+  cfg.background_flows = 2.0;
+  LinkModel touched(cfg), untouched(cfg);
+  touched.begin_transfer(9'999'991, 0.0);
+  untouched.begin_transfer(9'999'991, 0.0);
+  for (int i = 1; i <= 7; ++i) {
+    touched.set_background_flows(2.0, 0.1 * static_cast<double>(i));
+  }
+  EXPECT_EQ(touched.transfer_remaining_bytes(0.77),
+            untouched.transfer_remaining_bytes(0.77));
+  EXPECT_EQ(touched.transfer_completion_s(), untouched.transfer_completion_s());
+}
+
+TEST(LinkModel, TransferProgressCannotRunBackwards) {
+  LinkModel link;
+  link.begin_transfer(100'000'000, 1.0);  // ~6.7 s at 120 Mbit/s
+  (void)link.transfer_remaining_bytes(2.0);
+  EXPECT_THROW((void)link.transfer_remaining_bytes(1.5), Error);
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +396,58 @@ TEST(EdgeClient, PerformSequenceIsSeedDeterministic) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(EdgeClient, ResolutionScalesMeshWorkByArea) {
+  // r = 0.5 quarters both the server-side work and the downlink payload
+  // of mesh-bearing requests.
+  EdgeServerSpec server;  // defaults: 35 ms/mtri, no jitter/loss/sharing
+  EdgeClient client(no_jitter_client(), server, {}, 0, {}, 0, 5);
+  client.set_resolution(0.5);
+  const EdgeResponse resp =
+      client.perform(RequestClass::Decimation, 1.0, 40'000, 0.0);
+  ASSERT_TRUE(resp.ok);
+  const double expected =
+      server.service_seconds(RequestClass::Decimation, 0.25) +
+      LinkModel(LinkModelConfig{}).nominal_seconds(10'000);
+  EXPECT_DOUBLE_EQ(resp.elapsed_s, expected);
+  EXPECT_DOUBLE_EQ(client.stats().units, 0.25);
+  EXPECT_EQ(client.stats().payload_bytes, 10'000u);
+
+  // The warm-start exchange is not a mesh: RemoteBo is never scaled.
+  EdgeClient bo_client(no_jitter_client(), server, {}, 0, {}, 0, 6);
+  bo_client.set_resolution(0.5);
+  const EdgeResponse bo =
+      bo_client.perform(RequestClass::RemoteBo, 1.0, 88, 0.0);
+  ASSERT_TRUE(bo.ok);
+  EXPECT_DOUBLE_EQ(bo.elapsed_s,
+                   server.service_seconds(RequestClass::RemoteBo, 1.0) +
+                       LinkModel(LinkModelConfig{}).nominal_seconds(88));
+
+  EXPECT_THROW(client.set_resolution(0.0), Error);
+  EXPECT_THROW(client.set_resolution(1.5), Error);
+}
+
+TEST(EdgeClient, FullResolutionIsBitwiseNeutral) {
+  // The r = 1 guard must leave the request path untouched — same draws,
+  // same elapsed times as a knob-free client (the market-off parity
+  // contract at the client level).
+  const EdgeServiceSpec spec = edge_service_preset("congested");
+  EdgeClient plain(spec.client, spec.server, spec.background, 8, spec.link,
+                   0, 77);
+  EdgeClient knobbed(spec.client, spec.server, spec.background, 8, spec.link,
+                     0, 77);
+  knobbed.set_resolution(1.0);
+  for (int i = 0; i < 40; ++i) {
+    const EdgeResponse a = plain.perform(RequestClass::Decimation, 0.2,
+                                         20'000, 0.5 * (i + 1));
+    const EdgeResponse b = knobbed.perform(RequestClass::Decimation, 0.2,
+                                           20'000, 0.5 * (i + 1));
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+  }
+  EXPECT_EQ(plain.stats().payload_bytes, knobbed.stats().payload_bytes);
+  EXPECT_EQ(plain.stats().units, knobbed.stats().units);
+}
+
 TEST(EdgeClient, ValidatesConfig) {
   EdgeClientConfig cfg;
   cfg.timeout_s = 0.0;
@@ -403,6 +496,78 @@ TEST(EdgeBroker, ClientsAreDeterministicInSeed) {
     EXPECT_EQ(ra.ok, rb.ok);
     EXPECT_EQ(ra.elapsed_s, rb.elapsed_s);
   }
+}
+
+TEST(EdgeBroker, AbsorbOrderNeverChangesTheRollup) {
+  // Satellite of the marketsvc work: absorb() must be order-independent.
+  // Integer counters are commutative sums; floating-point totals are
+  // retained per tenant and re-summed in tenant-id order at stats() time,
+  // so any interleaving of worker-thread completions yields a bitwise
+  // identical roll-up.
+  const EdgeServiceSpec spec = edge_service_preset("congested");
+  auto run_tenant = [&spec](EdgeBroker& broker, std::uint64_t tenant) {
+    auto client = broker.make_client(tenant, 1000 + tenant);
+    for (int i = 0; i < 10; ++i) {
+      (void)client->perform(RequestClass::Decimation, 0.2, 20'000,
+                            0.4 * (i + 1));
+    }
+    broker.absorb(*client);
+  };
+  EdgeBroker forward(spec, 4), shuffled(spec, 4);
+  for (std::uint64_t t : {0, 1, 2, 3}) run_tenant(forward, t);
+  for (std::uint64_t t : {2, 0, 3, 1}) run_tenant(shuffled, t);
+
+  const EdgeFleetStats a = forward.stats();
+  const EdgeFleetStats b = shuffled.stats();
+  EXPECT_EQ(a.clients_absorbed, b.clients_absorbed);
+  EXPECT_EQ(a.client.requests, b.client.requests);
+  EXPECT_EQ(a.client.retries, b.client.retries);
+  EXPECT_EQ(a.client.fallbacks, b.client.fallbacks);
+  // The floating-point totals are where a naive eager merge would leak
+  // completion order into the last bits.
+  EXPECT_EQ(a.client.total_elapsed_s, b.client.total_elapsed_s);
+  EXPECT_EQ(a.client.units, b.client.units);
+  EXPECT_EQ(a.client.own_service_s, b.client.own_service_s);
+  EXPECT_EQ(a.server.total_wait_s, b.server.total_wait_s);
+  EXPECT_EQ(a.server.total_service_s, b.server.total_service_s);
+}
+
+TEST(EdgeBroker, MarketClientsCarryTheDecidedBackground) {
+  EdgeServiceSpec spec;  // default link: clean closed forms below
+  spec.background.per_tenant_rps = 0.4;
+  EdgeBroker broker(spec, 8);
+  EXPECT_FALSE(broker.market_enabled());
+  EXPECT_THROW(broker.market(), Error);
+  marketsvc::TenantAllocation alloc;
+  EXPECT_THROW(broker.make_market_client(alloc, 1), Error);
+
+  broker.enable_market({});
+  EXPECT_TRUE(broker.market_enabled());
+  EXPECT_THROW(broker.enable_market({}), Error);
+
+  // An admitted tenant's mirror carries the *decided* background instead
+  // of the static per-tenant guesses.
+  alloc.tenant = 2;
+  alloc.resolution = 0.5;
+  alloc.bg_flows = 1.5;
+  alloc.bg_rps = 3.0;
+  alloc.bg_mean_units = 0.2;
+  auto admitted = broker.make_market_client(alloc, 42);
+  EXPECT_EQ(admitted->tenant(), 2u);
+  EXPECT_DOUBLE_EQ(admitted->resolution(), 0.5);
+  EXPECT_DOUBLE_EQ(admitted->link().config().background_flows, 1.5);
+  EXPECT_DOUBLE_EQ(admitted->link().config().mbit_per_s, spec.link.mbit_per_s);
+
+  // A denied tenant gets the scavenger-class link: a sliver of the
+  // downlink, no decided background.
+  alloc.admitted = false;
+  auto denied = broker.make_market_client(alloc, 42);
+  EXPECT_DOUBLE_EQ(denied->link().config().background_flows, 0.0);
+  EXPECT_DOUBLE_EQ(
+      denied->link().config().mbit_per_s,
+      std::max(kMinLinkMbitPerS,
+               spec.link.mbit_per_s *
+                   broker.market().config().denied_bandwidth_frac));
 }
 
 // ---------------------------------------------------------------------------

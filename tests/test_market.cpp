@@ -1,0 +1,503 @@
+// Tests for hbosim::marketsvc — the fleet-level resource market that
+// makes the edge an actor: config validation, the three policy solvers
+// (max-min closed form, proportional-fair water-filling with the
+// symmetric even split, posted-price admission control and tatonnement),
+// the decided-background handout, demand learning from measured usage,
+// the market-extended HBO cost, FleetSpec market validation, and the
+// fleet determinism guarantee (market fleets bit-identical on 1 and N
+// worker threads).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hbosim/app/metrics.hpp"
+#include "hbosim/common/error.hpp"
+#include "hbosim/core/cost.hpp"
+#include "hbosim/edgesvc/broker.hpp"
+#include "hbosim/fleet/fleet_simulator.hpp"
+#include "hbosim/marketsvc/allocator.hpp"
+#include "hbosim/scenario/scenarios.hpp"
+
+namespace hbosim {
+namespace {
+
+using namespace hbosim::marketsvc;
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+
+TEST(MarketConfig, PolicyNamesRoundTrip) {
+  EXPECT_EQ(market_policy_from_name("pf"), MarketPolicy::ProportionalFair);
+  EXPECT_EQ(market_policy_from_name("maxmin"), MarketPolicy::MaxMin);
+  EXPECT_EQ(market_policy_from_name("price"), MarketPolicy::Pricing);
+  EXPECT_STREQ(market_policy_name(MarketPolicy::ProportionalFair), "pf");
+  EXPECT_STREQ(market_policy_name(MarketPolicy::MaxMin), "maxmin");
+  EXPECT_STREQ(market_policy_name(MarketPolicy::Pricing), "price");
+  EXPECT_THROW(market_policy_from_name("auction"), Error);
+}
+
+TEST(MarketConfig, ValidatesKnobs) {
+  EXPECT_NO_THROW(MarketConfig{}.validate());
+  MarketConfig cfg;
+  cfg.min_resolution = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.min_resolution = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.max_link_activity = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.max_compute_utilization = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.demand_smoothing = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.max_price_step = 1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = MarketConfig{};
+  cfg.denied_bandwidth_frac = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// JointAllocator: policy solvers
+
+/// Allocator over a 4-core box behind a 120 Mbit/s link; the compute seed
+/// is tiny so the link budget is the binding one unless a test overrides
+/// the per-tenant request rate.
+JointAllocator make_allocator(MarketConfig cfg,
+                              double service_s_per_unit = 0.1,
+                              double cores = 4.0) {
+  return JointAllocator(cfg, cores, 120.0, service_s_per_unit);
+}
+
+/// One explicit tenant demand (no reliance on learned estimates).
+TenantDemand demand(std::uint64_t tenant, double flow, double rps = 0.1,
+                    double weight = 1.0) {
+  TenantDemand d;
+  d.tenant = tenant;
+  d.weight = weight;
+  d.flow_activity = flow;
+  d.request_rps = rps;
+  return d;
+}
+
+TEST(JointAllocator, ValidatesConstruction) {
+  EXPECT_THROW(JointAllocator({}, 0.0, 120.0, 0.1), Error);
+  EXPECT_THROW(JointAllocator({}, 4.0, 0.0, 0.1), Error);
+  EXPECT_THROW(JointAllocator({}, 4.0, 120.0, 0.0), Error);
+  MarketConfig bad;
+  bad.min_resolution = 2.0;
+  EXPECT_THROW(JointAllocator(bad, 4.0, 120.0, 0.1), Error);
+}
+
+TEST(JointAllocator, TickRequiresTenants) {
+  JointAllocator alloc = make_allocator({});
+  EXPECT_THROW(alloc.tick({}), Error);
+}
+
+TEST(JointAllocator, MaxMinLinkBoundLevelIsClosedForm) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::MaxMin;  // max_link_activity = 2.0
+  JointAllocator alloc = make_allocator(cfg);
+  // Four tenants wanting a full flow each: sum a_i = 4 against a budget
+  // of 2, so the common level is x = 2/4 = 0.5 exactly (compute slack).
+  const std::vector<TenantAllocation> out = alloc.tick(
+      {demand(0, 1.0), demand(1, 1.0), demand(2, 1.0), demand(3, 1.0)});
+  ASSERT_EQ(out.size(), 4u);
+  for (const TenantAllocation& t : out) {
+    EXPECT_TRUE(t.admitted);
+    EXPECT_DOUBLE_EQ(t.resolution, std::sqrt(0.5));
+    EXPECT_DOUBLE_EQ(t.price, 0.0);
+  }
+  // Every mirror contends with the *decided* activity of the other three:
+  // a_total = 4 * 1.0 * 0.5 = 2, own share 0.5, background 1.5.
+  EXPECT_DOUBLE_EQ(out[0].bg_flows, 1.5);
+  EXPECT_DOUBLE_EQ(out[0].bandwidth_frac, 1.0 / 2.5);
+  EXPECT_DOUBLE_EQ(alloc.last().link_activity, 2.0);
+  EXPECT_EQ(alloc.last().denied, 0u);
+  EXPECT_EQ(alloc.ticks(), 1u);
+}
+
+TEST(JointAllocator, MaxMinComputeBoundAndFloorClamp) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::MaxMin;
+  // One core at 75% budget; svc = 0.15 mtri * 1 s/mtri, so two tenants at
+  // 10 rps demand 3 core-s/s against a budget of 0.75: level = 0.25.
+  JointAllocator tight = make_allocator(cfg, /*service_s_per_unit=*/1.0,
+                                        /*cores=*/1.0);
+  const auto out =
+      tight.tick({demand(0, 0.01, 10.0), demand(1, 0.01, 10.0)});
+  EXPECT_DOUBLE_EQ(out[0].resolution, 0.5);  // sqrt(0.25)
+  EXPECT_DOUBLE_EQ(tight.last().compute_utilization, 0.75);
+
+  // An uncontended epoch runs at full resolution...
+  JointAllocator slack = make_allocator(cfg);
+  EXPECT_DOUBLE_EQ(slack.tick({demand(0, 0.1), demand(1, 0.1)})[0].resolution,
+                   1.0);
+
+  // ...and a hopeless one clamps at the resolution floor instead of
+  // starving everyone (the decided overshoot stays visible in the stats).
+  JointAllocator swamped = make_allocator(cfg);
+  std::vector<TenantDemand> horde;
+  for (std::uint64_t i = 0; i < 100; ++i) horde.push_back(demand(i, 1.0));
+  EXPECT_NEAR(swamped.tick(horde)[0].resolution, cfg.min_resolution, 1e-12);
+  EXPECT_GT(swamped.last().link_activity, cfg.max_link_activity);
+}
+
+TEST(JointAllocator, ProportionalFairSplitsSymmetricTenantsEvenly) {
+  MarketConfig cfg;  // policy = ProportionalFair
+  JointAllocator alloc = make_allocator(cfg);
+  // Two identical tenants over-demand the link (2.0 flows each against a
+  // budget of 2): PF water-filling must hand each exactly half the budget,
+  // x = 0.5 — the closed form the CI bench gate re-checks.
+  const auto out = alloc.tick({demand(0, 2.0), demand(1, 2.0)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].resolution, out[1].resolution);  // exact symmetry
+  EXPECT_NEAR(out[0].resolution * out[0].resolution, 0.5, 1e-9);
+  EXPECT_NEAR(alloc.last().link_activity, cfg.max_link_activity, 1e-9);
+  EXPECT_NEAR(out[0].bg_flows, 1.0, 1e-9);
+  EXPECT_NEAR(out[0].bg_rps, 0.1, 1e-12);
+}
+
+TEST(JointAllocator, ProportionalFairFavorsTheHeavierWeight) {
+  JointAllocator alloc = make_allocator({});
+  const auto out = alloc.tick(
+      {demand(0, 2.0, 0.1, /*weight=*/3.0), demand(1, 2.0, 0.1, 1.0)});
+  EXPECT_GT(out[0].resolution, out[1].resolution);
+  EXPECT_GE(out[1].resolution, alloc.config().min_resolution - 1e-12);
+  // The decided load still respects the budget.
+  EXPECT_LE(alloc.last().link_activity,
+            alloc.config().max_link_activity + 1e-9);
+}
+
+TEST(JointAllocator, ProportionalFairKeepsUncontendedTenantsAtFull) {
+  JointAllocator alloc = make_allocator({});
+  const auto out = alloc.tick({demand(0, 0.02), demand(1, 0.02)});
+  EXPECT_DOUBLE_EQ(out[0].resolution, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].resolution, 1.0);
+}
+
+TEST(JointAllocator, PricingDeniesTheUnaffordableTenant) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::Pricing;
+  cfg.initial_price = 100.0;  // nobody can afford even the floor
+  JointAllocator alloc = make_allocator(cfg);
+  const auto out = alloc.tick({demand(0, 1.0)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].admitted);
+  EXPECT_DOUBLE_EQ(out[0].bandwidth_frac, cfg.denied_bandwidth_frac);
+  EXPECT_DOUBLE_EQ(out[0].bg_flows, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].bg_rps, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].price, 100.0);
+  EXPECT_EQ(alloc.last().denied, 1u);
+  // Nothing was admitted, so the system runs slack and tatonnement decays
+  // the price by the maximum step.
+  EXPECT_DOUBLE_EQ(alloc.price(), 100.0 * (1.0 - cfg.max_price_step));
+}
+
+TEST(JointAllocator, PricingRaisesThePriceUnderOverload) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::Pricing;
+  cfg.initial_price = 0.01;  // cheap enough that everyone buys r = 1
+  JointAllocator alloc = make_allocator(cfg);
+  const auto out = alloc.tick({demand(0, 4.0), demand(1, 4.0)});
+  EXPECT_TRUE(out[0].admitted);
+  EXPECT_DOUBLE_EQ(out[0].resolution, 1.0);
+  // Decided activity 8 against a budget of 2: the price climbs by the
+  // clamped maximum step.
+  EXPECT_DOUBLE_EQ(alloc.price(), 0.01 * (1.0 + cfg.max_price_step));
+}
+
+TEST(JointAllocator, PricingReadmitsWhenThePriceDecays) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::Pricing;
+  cfg.initial_price = 50.0;
+  JointAllocator alloc = make_allocator(cfg);
+  ASSERT_FALSE(alloc.tick({demand(0, 1.0)})[0].admitted);
+  // Every denied tick runs slack, so the price halves until the tenant
+  // can afford the floor again.
+  bool readmitted = false;
+  for (int i = 0; i < 40 && !readmitted; ++i) {
+    readmitted = alloc.tick({demand(0, 1.0)})[0].admitted;
+  }
+  EXPECT_TRUE(readmitted);
+}
+
+// ---------------------------------------------------------------------------
+// JointAllocator: demand learning
+
+TEST(JointAllocator, ObserveFoldsMeasuredUsageIntoTheNextTick) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::MaxMin;
+  JointAllocator alloc = make_allocator(cfg);
+  TenantDemand learned;  // all fields negative: use the learned estimate
+  learned.tenant = 0;
+  // Before anything was measured the initial estimates are light, so the
+  // tenant runs at full resolution.
+  EXPECT_DOUBLE_EQ(alloc.tick({learned})[0].resolution, 1.0);
+  // The tenant then saturates the downlink: 40 concurrent flows' worth of
+  // bytes over 10 simulated seconds at 120 Mbit/s.
+  MeasuredUsage usage;
+  usage.payload_bytes = static_cast<std::uint64_t>(40.0 * 120e6 / 8.0 * 10.0);
+  usage.requests = 100;
+  usage.units = 15.0;
+  usage.service_s = 1.0;
+  usage.duration_s = 10.0;
+  alloc.observe(0, usage, 1.0);
+  // The EWMA-updated flow estimate now dwarfs the link budget.
+  EXPECT_LT(alloc.tick({learned})[0].resolution, 1.0);
+}
+
+TEST(JointAllocator, ObserveRescalesMeasurementsToReferenceResolution) {
+  MarketConfig cfg;
+  cfg.policy = MarketPolicy::MaxMin;
+  JointAllocator at_full = make_allocator(cfg);
+  JointAllocator at_half = make_allocator(cfg);
+  MeasuredUsage usage;
+  usage.payload_bytes = static_cast<std::uint64_t>(40.0 * 120e6 / 8.0 * 10.0);
+  usage.requests = 100;
+  usage.units = 15.0;
+  usage.service_s = 1.0;
+  usage.duration_s = 10.0;
+  at_full.observe(0, usage, 1.0);
+  // The same bytes moved while running at r = 0.5 imply 4x the demand at
+  // the r = 1 reference, so the next tick trims harder.
+  at_half.observe(0, usage, 0.5);
+  TenantDemand learned;
+  learned.tenant = 0;
+  EXPECT_LT(at_half.tick({learned})[0].resolution,
+            at_full.tick({learned})[0].resolution);
+}
+
+TEST(JointAllocator, ObserveIgnoresEmptyEpochsAndValidatesResolution) {
+  JointAllocator alloc = make_allocator({});
+  MeasuredUsage nothing;  // no requests: keep the current estimate
+  alloc.observe(0, nothing, 1.0);
+  TenantDemand learned;
+  learned.tenant = 0;
+  EXPECT_DOUBLE_EQ(alloc.tick({learned})[0].resolution, 1.0);
+  MeasuredUsage usage;
+  usage.requests = 1;
+  usage.duration_s = 1.0;
+  EXPECT_THROW(alloc.observe(0, usage, 0.0), Error);
+  EXPECT_THROW(alloc.observe(0, usage, 1.5), Error);
+}
+
+TEST(JointAllocator, TickAndObserveAreDeterministic) {
+  auto run = [] {
+    MarketConfig cfg;
+    cfg.policy = MarketPolicy::Pricing;
+    JointAllocator alloc = make_allocator(cfg);
+    std::vector<double> out;
+    for (int epoch = 0; epoch < 5; ++epoch) {
+      const auto allocs =
+          alloc.tick({demand(0, 1.0), demand(1, 0.5, 2.0), demand(2, 0.1)});
+      for (const TenantAllocation& t : allocs) {
+        out.push_back(t.resolution);
+        out.push_back(t.bg_flows);
+        out.push_back(t.bg_rps);
+        out.push_back(t.price);
+        MeasuredUsage usage;
+        usage.payload_bytes = 1'000'000 * (t.tenant + 1);
+        usage.requests = 10;
+        usage.units = 1.5;
+        usage.service_s = 0.2;
+        usage.duration_s = 8.0;
+        alloc.observe(t.tenant, usage, t.resolution);
+      }
+      out.push_back(alloc.price());
+    }
+    return out;
+  };
+  const std::vector<double> a = run();
+  const std::vector<double> b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Market-extended HBO cost
+
+TEST(MarketCost, PriceChargesTheTriangleBudget) {
+  app::PeriodMetrics m;
+  m.average_quality = 0.8;
+  m.latency_ratio = 0.3;
+  m.triangle_ratio = 0.6;
+  m.avg_power_w = 2.0;
+  // A zero price must reproduce the energy-extended cost bit for bit (the
+  // market-off parity contract).
+  EXPECT_EQ(core::cost_of(m, 0.4, 0.05, 0.0), core::cost_of(m, 0.4, 0.05));
+  EXPECT_EQ(core::cost_of(m, 0.4, 0.0, 0.0), core::cost_of(m, 0.4));
+  // A posted price charges the configuration's triangle appetite.
+  EXPECT_DOUBLE_EQ(core::cost_of(m, 0.4, 0.05, 2.5),
+                   core::cost_of(m, 0.4, 0.05) + 2.5 * 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// FleetSpec validation (fail loudly on nonsense market combinations)
+
+fleet::FleetSpec market_fleet(std::size_t sessions, std::size_t threads,
+                              MarketPolicy policy) {
+  fleet::FleetSpec spec;
+  spec.sessions = sessions;
+  spec.threads = threads;
+  spec.duration_s = 12.0;
+  spec.session.hbo.n_initial = 2;
+  spec.session.hbo.n_iterations = 2;
+  spec.session.hbo.selection_candidates = 1;
+  spec.session.hbo.control_period_s = 1.0;
+  spec.session.hbo.monitor_period_s = 1.0;
+  spec.session.reference_periods = 2;
+  spec.scenarios = {{scenario::ObjectSet::SC2, scenario::TaskSet::CF2, 1.0}};
+  spec.use_edge_service = true;
+  spec.edge = edgesvc::edge_service_preset("wifi");
+  spec.market.enabled = true;
+  spec.market.epoch_sessions = 4;
+  spec.market.allocator.policy = policy;
+  return spec;
+}
+
+TEST(FleetMarket, ValidationRejectsNonsenseCombinations) {
+  // The allocator needs an edge box to allocate.
+  fleet::FleetSpec spec = market_fleet(8, 1, MarketPolicy::ProportionalFair);
+  spec.use_edge_service = false;
+  EXPECT_THROW(spec.validate(), Error);
+
+  // Pool warm starts depend on session completion order, which would
+  // break the market epoch's 1-vs-N-thread bitwise guarantee.
+  spec = market_fleet(8, 1, MarketPolicy::ProportionalFair);
+  spec.use_shared_pool = true;
+  EXPECT_THROW(spec.validate(), Error);
+
+  // The market and the learned policy layer both own the epoch barrier.
+  spec = market_fleet(8, 1, MarketPolicy::ProportionalFair);
+  spec.policy.mode = fleet::PolicyMode::Prior;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = market_fleet(8, 1, MarketPolicy::ProportionalFair);
+  spec.market.epoch_sessions = 0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  // Allocator knobs are validated through the fleet spec too.
+  spec = market_fleet(8, 1, MarketPolicy::ProportionalFair);
+  spec.market.allocator.min_resolution = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  EXPECT_NO_THROW(
+      market_fleet(8, 1, MarketPolicy::ProportionalFair).validate());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet integration: the determinism guarantee and the market roll-up
+
+TEST(FleetMarket, PerSessionResultsAreThreadCountInvariant) {
+  const std::size_t kSessions = 8;
+  fleet::FleetResult serial =
+      fleet::FleetSimulator(
+          market_fleet(kSessions, 1, MarketPolicy::ProportionalFair))
+          .run();
+  fleet::FleetResult threaded =
+      fleet::FleetSimulator(
+          market_fleet(kSessions, 4, MarketPolicy::ProportionalFair))
+          .run();
+
+  ASSERT_EQ(serial.sessions.size(), kSessions);
+  ASSERT_EQ(threaded.sessions.size(), kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const fleet::SessionResult& a = serial.sessions[i];
+    const fleet::SessionResult& b = threaded.sessions[i];
+    EXPECT_EQ(a.mean_quality, b.mean_quality) << "session " << i;
+    EXPECT_EQ(a.mean_latency_ratio, b.mean_latency_ratio) << "session " << i;
+    EXPECT_EQ(a.mean_reward, b.mean_reward) << "session " << i;
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds) << "session " << i;
+    EXPECT_EQ(a.edge_requests, b.edge_requests) << "session " << i;
+    EXPECT_EQ(a.edge_retries, b.edge_retries) << "session " << i;
+    EXPECT_EQ(a.edge_fallbacks, b.edge_fallbacks) << "session " << i;
+    EXPECT_EQ(a.edge_payload_bytes, b.edge_payload_bytes) << "session " << i;
+    EXPECT_EQ(a.edge_units, b.edge_units) << "session " << i;
+    EXPECT_EQ(a.edge_service_s, b.edge_service_s) << "session " << i;
+    EXPECT_EQ(a.edge_elapsed_s, b.edge_elapsed_s) << "session " << i;
+    // The allocator's decisions themselves must replay bit-identically:
+    // the tick inputs are fed at the barrier in session-id order.
+    EXPECT_EQ(a.market_session, b.market_session) << "session " << i;
+    EXPECT_EQ(a.market_denied, b.market_denied) << "session " << i;
+    EXPECT_EQ(a.market_resolution, b.market_resolution) << "session " << i;
+    EXPECT_EQ(a.market_bandwidth_frac, b.market_bandwidth_frac)
+        << "session " << i;
+    EXPECT_EQ(a.market_price, b.market_price) << "session " << i;
+  }
+  // The roll-up (including the order-independent broker re-summation of
+  // floating-point totals) agrees too.
+  EXPECT_EQ(serial.metrics.market.resolution.mean,
+            threaded.metrics.market.resolution.mean);
+  EXPECT_EQ(serial.metrics.market.link_activity,
+            threaded.metrics.market.link_activity);
+  EXPECT_EQ(serial.metrics.edge.mean_wait_ms, threaded.metrics.edge.mean_wait_ms);
+  EXPECT_EQ(serial.metrics.edge.requests, threaded.metrics.edge.requests);
+}
+
+TEST(FleetMarket, RollupReportsMarketHealth) {
+  fleet::FleetResult result =
+      fleet::FleetSimulator(market_fleet(8, 2, MarketPolicy::ProportionalFair))
+          .run();
+  const fleet::FleetMetrics::MarketHealth& mh = result.metrics.market;
+  EXPECT_TRUE(mh.enabled);
+  EXPECT_EQ(mh.policy, "pf");
+  EXPECT_EQ(mh.ticks, 2u);  // 8 sessions / epoch of 4
+  EXPECT_EQ(mh.denied_sessions, 0u);  // PF never denies
+  EXPECT_DOUBLE_EQ(mh.admission_rate, 1.0);
+  EXPECT_DOUBLE_EQ(mh.final_price, 0.0);
+  EXPECT_GT(mh.resolution.mean, 0.0);
+  for (const fleet::SessionResult& s : result.sessions) {
+    EXPECT_TRUE(s.market_session);
+    EXPECT_FALSE(s.market_denied);
+    EXPECT_GE(s.market_resolution,
+              result.metrics.market.resolution.min - 1e-12);
+    EXPECT_LE(s.market_resolution, 1.0);
+    EXPECT_DOUBLE_EQ(s.market_price, 0.0);
+  }
+}
+
+TEST(FleetMarket, PricingOverloadDeniesIntoBestEffort) {
+  // A posted price nobody can afford: every tenant is bumped into the
+  // scavenger class, survives on on-device fallbacks, and the roll-up
+  // says so.
+  fleet::FleetSpec spec = market_fleet(6, 2, MarketPolicy::Pricing);
+  spec.market.epoch_sessions = 3;
+  spec.market.allocator.initial_price = 1e6;
+  fleet::FleetResult result = fleet::FleetSimulator(spec).run();
+  const fleet::FleetMetrics::MarketHealth& mh = result.metrics.market;
+  EXPECT_TRUE(mh.enabled);
+  EXPECT_EQ(mh.policy, "price");
+  EXPECT_EQ(mh.denied_sessions, 6u);
+  EXPECT_DOUBLE_EQ(mh.admission_rate, 0.0);
+  EXPECT_LT(mh.final_price, 1e6);  // tatonnement decays while slack
+  for (const fleet::SessionResult& s : result.sessions) {
+    EXPECT_TRUE(s.market_denied);
+    EXPECT_GT(s.market_price, 0.0);
+    // The session still completed — degraded, not wedged.
+    EXPECT_GT(s.sim_seconds, 0.0);
+    EXPECT_GT(s.activations, 0u);
+  }
+}
+
+TEST(FleetMarket, DisabledMarketLeavesResultsNeutral) {
+  fleet::FleetSpec spec = market_fleet(2, 1, MarketPolicy::ProportionalFair);
+  spec.market.enabled = false;
+  fleet::FleetResult result = fleet::FleetSimulator(spec).run();
+  EXPECT_FALSE(result.metrics.market.enabled);
+  EXPECT_EQ(result.metrics.market.denied_sessions, 0u);
+  for (const fleet::SessionResult& s : result.sessions) {
+    EXPECT_FALSE(s.market_session);
+    EXPECT_DOUBLE_EQ(s.market_resolution, 1.0);
+    EXPECT_DOUBLE_EQ(s.market_price, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hbosim
