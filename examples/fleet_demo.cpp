@@ -51,6 +51,18 @@
 //                          rate, resolution distribution, decided link /
 //                          compute load, and the posted price.
 //
+//   --offload              put the edge inside every session's HBO decision
+//                          space (hbosim::offload): sessions search the
+//                          4-target CPU/GPU/NPU/edge simplex and route the
+//                          decided share of their inferences to the edge
+//                          mirror, with radio energy charged to the session
+//                          battery. Implies --edge (wifi preset unless
+//                          --edge chose one) and --power (the radio energy
+//                          term needs a battery). Prints the energy/offload
+//                          roll-up: offload rate, mean edge share, Wh
+//                          consumed, and the projected hours-of-AR-per-
+//                          charge figure the frontier bench optimizes.
+//
 //   --sched                scheduler forensics (des::SchedAnalyzer): every
 //                          session records a per-job lifecycle trace, the
 //                          fleet prints the SchedHealth roll-up (worst p99
@@ -99,6 +111,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool use_edge = false;
   bool use_power = false;
+  bool use_offload = false;
   bool use_sched = false;
   bool stream = false;
   std::string gantt_path;
@@ -126,6 +139,10 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') edge_preset = argv[++i];
     } else if (arg == "--power") {
       use_power = true;
+    } else if (arg == "--offload") {
+      use_offload = true;
+      use_edge = true;   // the edge coordinate needs a mirror to route to
+      use_power = true;  // the radio energy term needs a battery
     } else if (arg == "--sched") {
       use_sched = true;
     } else if (arg == "--gantt" && i + 1 < argc) {
@@ -151,7 +168,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: fleet_demo [--trace out.json] [--metrics out.json]"
                    " [--edge [lan|wifi|congested]]"
-                   " [--market [pf|maxmin|price]] [--power]"
+                   " [--market [pf|maxmin|price]] [--power] [--offload]"
                    " [--sched] [--gantt out.csv]"
                    " [--policy [prior|bandit|off]]"
                    " [--sessions N] [--stream]\n";
@@ -236,6 +253,13 @@ int main(int argc, char** argv) {
     // Pool warm starts depend on worker completion order, which would
     // make the worst-session re-run below diverge from the fleet run.
     spec.use_shared_pool = false;
+  }
+  if (use_offload) {
+    spec.offload.enabled = true;
+    // A joint cost without an energy term would never *prefer* the edge on
+    // a cool die; weight battery draw into phi so the optimizer trades
+    // quality against hours-of-AR-per-charge (see bench_offload).
+    spec.session.hbo.w_energy = 0.05;
   }
   if (use_power) {
     spec.use_power_model = true;
@@ -340,6 +364,23 @@ int main(int argc, char** argv) {
               << "% of sessions, deepest OPP " << std::setprecision(2)
               << m.power.min_freq_scale << "x\n"
               << std::setprecision(3);
+  }
+
+  if (m.offload.enabled) {
+    const double wh = m.offload.radio_energy_j / 3600.0;
+    const double total_wh = m.power.total_energy_j / 3600.0;
+    const double drain = m.power.drain_pct_per_hour.mean;
+    std::cout << "  offload: rate " << std::setprecision(2)
+              << m.offload.offload_rate << " (" << m.offload.remote_inferences
+              << "/" << m.offload.completed_inferences << " inferences, "
+              << m.offload.fallbacks << " fallbacks)\n"
+              << "           edge share mean=" << std::setprecision(3)
+              << m.offload.edge_share.mean << " p90="
+              << m.offload.edge_share.p90 << "\n"
+              << "           energy " << std::setprecision(2) << total_wh
+              << " Wh total (" << wh << " Wh radio), projected "
+              << (drain > 0.0 ? 100.0 / drain : 0.0)
+              << " h of AR per charge\n" << std::setprecision(3);
   }
 
   if (m.sched.enabled) {

@@ -97,9 +97,51 @@ void InferenceEngine::begin_inference(TaskId id) {
   st.phase_index = 0;
   st.inference_start = sim_.now();
   st.in_flight = true;
+  st.remote = false;
+  // The demand noise draw happens before remote/local routing so the
+  // engine's RNG stream is identical whichever path each inference takes
+  // (and identical to a pre-offload build when every share is 0).
   st.noise_factor = cfg_.latency_noise > 0.0
                         ? std::exp(cfg_.latency_noise * rng_.normal())
                         : 1.0;
+  if (st.edge_share > 0.0 && remote_) {
+    // Deterministic fractional routing: the carry accumulates the share
+    // each inference and fires remote on overflow — no RNG, so a share
+    // of 0 leaves every draw and event of the local path untouched.
+    st.edge_carry += st.edge_share;
+    if (st.edge_carry >= 1.0) {
+      st.edge_carry -= 1.0;
+      const double demand = plan_isolation_seconds(st.plan) * st.noise_factor;
+      ++remote_attempts_;
+      const RemoteResult res = remote_(st.task, demand);
+      const std::uint64_t epoch = st.epoch;
+      if (res.ok) {
+        st.remote = true;
+        st.pending_event =
+            sim_.schedule_after(res.elapsed_s, [this, id, epoch] {
+              auto it = tasks_.find(id);
+              if (it == tasks_.end() || it->second.epoch != epoch) return;
+              it->second.pending_event = 0;
+              finish_inference(id);
+            });
+        return;
+      }
+      // Exhausted the edge attempt budget: the timeouts and NACK
+      // round-trips still happened, so charge their wall time before
+      // falling back to the untouched local plan.
+      ++remote_fallbacks_;
+      if (res.elapsed_s > 0.0) {
+        st.pending_event =
+            sim_.schedule_after(res.elapsed_s, [this, id, epoch] {
+              auto it = tasks_.find(id);
+              if (it == tasks_.end() || it->second.epoch != epoch) return;
+              it->second.pending_event = 0;
+              run_next_phase(id);
+            });
+        return;
+      }
+    }
+  }
   run_next_phase(id);
 }
 
@@ -140,6 +182,8 @@ void InferenceEngine::finish_inference(TaskId id) {
   const double latency = sim_.now() - st.inference_start;
   st.last_latency = latency;
   st.window.add(latency);
+  ++completed_inferences_;
+  if (st.remote) ++remote_inferences_;
   if (telemetry::enabled()) {
     // Sim-time span on the session's async track: the inference as the
     // simulated pipeline saw it, resource contention included.
@@ -153,6 +197,15 @@ void InferenceEngine::finish_inference(TaskId id) {
   if (it == tasks_.end()) return;
   it->second.pending_event =
       sim_.schedule_after(next_gap(), [this, id] { begin_inference(id); });
+}
+
+void InferenceEngine::set_edge_share(TaskId id, double share) {
+  HB_REQUIRE(std::isfinite(share) && share >= 0.0 && share <= 1.0,
+             "edge share must be in [0, 1]");
+  // The carry is deliberately left alone: reconfiguration mid-session
+  // keeps the routing pattern a pure function of the share history, and
+  // setting a share back to 0 freezes the carry below 1 forever.
+  state(id).edge_share = share;
 }
 
 void InferenceEngine::reset_window() {

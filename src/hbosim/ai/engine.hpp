@@ -24,6 +24,15 @@
 
 namespace hbosim::ai {
 
+/// Outcome of one remote (edge-offloaded) inference exchange. `elapsed_s`
+/// is the simulated wall time the exchange consumed — on failure the
+/// engine still charges it before falling back to the local ExecPlan,
+/// because the radio round-trips and timeouts really happened.
+struct RemoteResult {
+  bool ok = false;
+  double elapsed_s = 0.0;
+};
+
 struct EngineConfig {
   /// Pause between the end of one inference and the start of the next.
   /// MAR AI pipelines are camera-frame driven; one 30 fps frame interval
@@ -46,6 +55,12 @@ class InferenceEngine {
   /// Called after every completed inference with the task and its measured
   /// end-to-end latency in seconds.
   using LatencyObserver = std::function<void(const AiTask&, double)>;
+
+  /// Executes one inference remotely: receives the task and its local
+  /// compute demand in isolation-seconds (noise included) and returns the
+  /// exchange outcome. Supplied by hbosim::offload::OffloadExecutor; the
+  /// engine itself stays edge-agnostic.
+  using RemoteExecutor = std::function<RemoteResult(const AiTask&, double)>;
 
   InferenceEngine(des::Simulator& sim, soc::SocRuntime& soc,
                   EngineConfig cfg = {});
@@ -75,6 +90,27 @@ class InferenceEngine {
 
   void set_observer(LatencyObserver obs) { observer_ = std::move(obs); }
 
+  /// Install (or clear) the remote execution backend. Tasks with a zero
+  /// edge share never consult it, so a session without an executor — or
+  /// with every share at 0 — is bitwise identical to a pre-offload build.
+  void set_remote_executor(RemoteExecutor exec) {
+    remote_ = std::move(exec);
+  }
+
+  /// Set the fraction of task `id`'s inferences to run remotely, in
+  /// [0, 1]. Routing uses a deterministic carry accumulator (no RNG
+  /// draws), so enabling offload does not perturb the engine's noise or
+  /// jitter streams: share 0.4 sends exactly every 2nd-or-3rd inference
+  /// in a fixed pattern, and share 0 restores the pure-local sequence.
+  void set_edge_share(TaskId id, double share);
+  double edge_share(TaskId id) const { return state(id).edge_share; }
+
+  /// Lifetime counters for the offload roll-up.
+  std::uint64_t completed_inferences() const { return completed_inferences_; }
+  std::uint64_t remote_inferences() const { return remote_inferences_; }
+  std::uint64_t remote_attempts() const { return remote_attempts_; }
+  std::uint64_t remote_fallbacks() const { return remote_fallbacks_; }
+
   /// Measurement window: per-task latency statistics since the last reset.
   void reset_window();
   double window_mean_latency_s(TaskId id) const;
@@ -99,6 +135,9 @@ class InferenceEngine {
     std::uint64_t epoch = 0;   // invalidates stale callbacks
     RunningStat window;
     double last_latency = 0.0;
+    double edge_share = 0.0;   // fraction of inferences sent remote
+    double edge_carry = 0.0;   // deterministic routing accumulator
+    bool remote = false;       // in-flight inference runs on the edge
   };
 
   double next_gap();
@@ -114,9 +153,14 @@ class InferenceEngine {
   EngineConfig cfg_;
   Rng rng_;
   LatencyObserver observer_;
+  RemoteExecutor remote_;
   std::map<TaskId, TaskState> tasks_;
   TaskId next_task_id_ = 1;
   bool started_ = false;
+  std::uint64_t completed_inferences_ = 0;
+  std::uint64_t remote_inferences_ = 0;
+  std::uint64_t remote_attempts_ = 0;
+  std::uint64_t remote_fallbacks_ = 0;
 };
 
 }  // namespace hbosim::ai

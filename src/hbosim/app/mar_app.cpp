@@ -79,6 +79,23 @@ void MarApp::apply_allocation(const std::vector<soc::Delegate>& delegates) {
     engine_.set_delegate(task_order_[i], delegates[i]);
 }
 
+void MarApp::apply_offload_shares(const std::vector<double>& shares) {
+  HB_REQUIRE(shares.size() == task_order_.size(),
+             "offload share vector size must match the taskset");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    engine_.set_edge_share(task_order_[i], shares[i]);
+    sum += shares[i];
+  }
+  offload_share_stat_.add(shares.empty()
+                              ? 0.0
+                              : sum / static_cast<double>(shares.size()));
+}
+
+void MarApp::set_remote_executor(ai::InferenceEngine::RemoteExecutor exec) {
+  engine_.set_remote_executor(std::move(exec));
+}
+
 void MarApp::attach_edge(edgesvc::EdgeClient* client) {
   if (client == nullptr) {
     decimation_.attach_edge(nullptr, {});

@@ -99,6 +99,24 @@ class MarApp {
   /// Apply a per-task delegate assignment (ordered like tasks()).
   void apply_allocation(const std::vector<soc::Delegate>& delegates);
 
+  /// Apply per-task edge shares (ordered like tasks()): the fraction of
+  /// each task's inferences routed to the remote executor. Applied like
+  /// an allocation — from each task's next inference. No-op semantics:
+  /// all-zero shares leave the engine's behavior bitwise unchanged.
+  void apply_offload_shares(const std::vector<double>& shares);
+
+  /// Install the remote inference backend (hbosim::offload). Must be set
+  /// before any nonzero share takes effect; shares without an executor
+  /// silently run locally.
+  void set_remote_executor(ai::InferenceEngine::RemoteExecutor exec);
+
+  /// Mean-of-applied-means edge share across apply_offload_shares calls
+  /// (the fleet's mean_edge_share roll-up source). Zero samples before
+  /// the first call.
+  const RunningStat& offload_share_stat() const {
+    return offload_share_stat_;
+  }
+
   /// Apply per-object decimation ratios (ordered like scene().object_ids()).
   /// Each version is requested from the decimation service; cache misses
   /// charge their download delay before the redraw takes effect.
@@ -145,6 +163,7 @@ class MarApp {
   std::vector<TaskId> task_order_;
   std::unique_ptr<ai::ProfileTable> profiles_;
   double quality_scale_ = 1.0;
+  RunningStat offload_share_stat_;
 };
 
 }  // namespace hbosim::app

@@ -45,6 +45,14 @@ class SurrogatePrior {
     (void)k;
     return {};
   }
+
+  /// Dimension of the z-space this prior was fitted in, or 0 when the
+  /// prior is dimension-agnostic. Consumers growing the search space
+  /// (e.g. the 4-target offload simplex vs the 3-target on-device one)
+  /// must drop priors whose dim() is nonzero and differs from the
+  /// active space — a mean function fitted over 4-vectors is
+  /// meaningless (or out-of-bounds) when evaluated on 5-vectors.
+  virtual std::size_t dim() const { return 0; }
 };
 
 }  // namespace hbosim::bo

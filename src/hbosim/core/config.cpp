@@ -16,6 +16,7 @@ void HboConfig::validate() const {
   HB_REQUIRE(monitor_period_s > 0.0, "monitor period must be positive");
   HB_REQUIRE(up_fraction >= 0.0 && down_fraction >= 0.0,
              "activation thresholds must be non-negative");
+  offload.validate();
 }
 
 }  // namespace hbosim::core

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "hbosim/bo/optimizer.hpp"
+#include "hbosim/offload/offload_config.hpp"
 
 /// \file config.hpp
 /// All HBO tunables in one place, defaulted to the paper's experimental
@@ -61,6 +62,15 @@ struct HboConfig {
   double monitor_period_s = 2.0;
   double up_fraction = 0.05;
   double down_fraction = 0.10;
+
+  /// Edge offloading as a fourth allocation target: when
+  /// offload.enabled the Constraints 8-10 simplex grows from the
+  /// on-device CPU/GPU/NPU proportions to CPU/GPU/NPU/edge, and the
+  /// sampled edge coordinate is planned into per-AI-task remote
+  /// fractions at every configuration apply (see hbosim::offload).
+  /// Disabled by default: the 3-resource search stays bitwise identical
+  /// to pre-offload builds.
+  offload::OffloadConfig offload;
 
   /// Seed for the optimizer's random draws.
   std::uint64_t seed = 1234;

@@ -37,6 +37,11 @@ HboController::HboController(app::MarApp& app, HboConfig cfg)
   cfg_.validate();
 }
 
+std::size_t HboController::config_dim() const {
+  return static_cast<std::size_t>(soc::kNumDelegates) +
+         (cfg_.offload.enabled ? 2 : 1);
+}
+
 void HboController::ensure_allocator() {
   if (allocator_) return;
   HB_REQUIRE(!app_.tasks().empty(), "HBO needs at least one AI task");
@@ -58,13 +63,48 @@ std::vector<ObjectState> HboController::object_states(app::MarApp& app) {
 IterationRecord HboController::apply_configuration(
     std::span<const double> z) {
   ensure_allocator();
-  HB_REQUIRE(z.size() == static_cast<std::size_t>(soc::kNumDelegates) + 1,
-             "configuration must be [c_1..c_N, x]");
+  HB_REQUIRE(z.size() == config_dim(),
+             cfg_.offload.enabled
+                 ? "configuration must be [c_1..c_N, e, x]"
+                 : "configuration must be [c_1..c_N, x]");
   IterationRecord rec;
   rec.z.assign(z.begin(), z.end());
   auto [usage, x] = bo::SimplexBoxSpace::split(z);
-  rec.usage = usage;
   rec.triangle_ratio = x;
+
+  if (cfg_.offload.enabled) {
+    // The sampled simplex is CPU/GPU/NPU/edge: peel the edge coordinate
+    // off (clamped to the operator cap) and renormalize the on-device
+    // remainder for the unchanged 3-resource heuristic allocator — the
+    // *local* workload still splits across the local accelerators in the
+    // sampled proportions. Shares below min_edge_share snap to zero:
+    // continuous simplex samples almost never land exactly on the
+    // zero-edge face, and without the snap a session on a hostile link
+    // converges to a small residual share that keeps lighting the radio
+    // for nothing — the all-local corner must be *reachable*, not just
+    // approachable.
+    double edge = std::min(usage.back(), cfg_.offload.max_edge_share);
+    if (edge < cfg_.offload.min_edge_share) edge = 0.0;
+    usage.pop_back();
+    double local_sum = 0.0;
+    for (const double c : usage) local_sum += c;
+    if (local_sum > 1e-12) {
+      for (double& c : usage) c /= local_sum;
+    } else {
+      // Degenerate all-edge sample: the allocator still needs a valid
+      // on-device split for the (1 - edge) residue of every task.
+      for (double& c : usage) c = 1.0 / static_cast<double>(usage.size());
+    }
+    rec.edge_share = edge;
+
+    std::vector<double> expected;
+    const std::vector<TaskId> ids = app_.tasks();
+    expected.reserve(ids.size());
+    for (const TaskId id : ids) expected.push_back(app_.expected_ms(id));
+    rec.offload_shares = offload::plan_task_shares(edge, expected);
+    app_.apply_offload_shares(rec.offload_shares);
+  }
+  rec.usage = usage;
 
   const AllocationResult alloc = allocator_->allocate(usage);
   rec.allocation = alloc.delegates;
@@ -80,11 +120,23 @@ ActivationResult HboController::run_activation() {
   ensure_allocator();
   app_.start();
 
+  // With offload enabled the Constraints 8-10 simplex grows one
+  // coordinate: per-resource proportions over CPU/GPU/NPU/edge. The
+  // disabled path constructs the identical 3-simplex space as always.
+  const std::size_t n_simplex =
+      static_cast<std::size_t>(soc::kNumDelegates) +
+      (cfg_.offload.enabled ? 1 : 0);
   bo::BoConfig bo_cfg = cfg_.bo;
   bo_cfg.n_initial = cfg_.n_initial;
   bo_cfg.prior = prior_;  // null unless a policy layer injected one
+  if (bo_cfg.prior && bo_cfg.prior->dim() != 0 &&
+      bo_cfg.prior->dim() != n_simplex + 1) {
+    // A prior fitted in the other decision space (3- vs 4-target) would
+    // evaluate its mean function out of domain; fall back to flat.
+    bo_cfg.prior = nullptr;
+  }
   optimizer_ = std::make_unique<bo::BayesianOptimizer>(
-      bo::SimplexBoxSpace(soc::kNumDelegates, cfg_.r_min, 1.0), bo_cfg);
+      bo::SimplexBoxSpace(n_simplex, cfg_.r_min, 1.0), bo_cfg);
 
   ActivationResult result;
   const int total_iters = cfg_.n_initial + cfg_.n_iterations;
@@ -98,7 +150,8 @@ ActivationResult HboController::run_activation() {
         app_.run_period(cfg_.control_period_s);
     rec.quality = metrics.average_quality;
     rec.latency_ratio = metrics.latency_ratio;
-    rec.cost = cost_of(metrics, cfg_.w, cfg_.w_energy, cfg_.market_price);
+    rec.cost = cost_of(metrics,
+                       CostTerms{cfg_.w, cfg_.w_energy, cfg_.market_price});
     optimizer_->tell(rec.z, rec.cost);
     result.history.push_back(std::move(rec));
   }
@@ -121,7 +174,8 @@ ActivationResult HboController::run_activation() {
     for (std::size_t i = 0; i < k; ++i) {
       apply_configuration(result.history[order[i]].z);
       const app::PeriodMetrics m = app_.run_period(cfg_.control_period_s);
-      const double c = cost_of(m, cfg_.w, cfg_.w_energy, cfg_.market_price);
+      const double c =
+          cost_of(m, CostTerms{cfg_.w, cfg_.w_energy, cfg_.market_price});
       if (c < best_validated) {
         best_validated = c;
         result.best_index = order[i];

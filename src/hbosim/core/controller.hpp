@@ -26,9 +26,15 @@ namespace hbosim::core {
 struct IterationRecord {
   int index = 0;
   bool random_init = false;           ///< From the initialization phase?
-  std::vector<double> z;              ///< [c_1, c_2, c_3, x].
-  std::vector<double> usage;          ///< c (per-delegate proportions).
+  std::vector<double> z;              ///< [c_1..c_N, x]; with offload the
+                                      ///< simplex carries a 4th (edge)
+                                      ///< coordinate: [c_1..c_3, e, x].
+  std::vector<double> usage;          ///< On-device c (per-delegate
+                                      ///< proportions fed to the allocator).
   double triangle_ratio = 1.0;        ///< x.
+  double edge_share = 0.0;            ///< Sampled (clamped) edge coordinate.
+  std::vector<double> offload_shares; ///< Per-task remote fractions applied
+                                      ///< (empty with offload disabled).
   std::vector<soc::Delegate> allocation;
   std::vector<double> object_ratios;  ///< Per-object decimation ratios.
   double quality = 1.0;               ///< Measured Q_t.
@@ -57,6 +63,12 @@ class HboController {
   HboController(app::MarApp& app, HboConfig cfg = {});
 
   const HboConfig& config() const { return cfg_; }
+
+  /// Dimension of the configuration vectors this controller searches and
+  /// applies: kNumDelegates + 1 for the paper's 3-resource space, one
+  /// more with offload enabled. Warm-start consumers use it to reject
+  /// stored solutions from the other decision space.
+  std::size_t config_dim() const;
 
   /// Run one full activation on the app (which must have its objects and
   /// tasks in place). Applies the best configuration before returning.

@@ -5,10 +5,19 @@
 /// \file cost.hpp
 /// Eq. 3 and Eq. 5: the reward B_t = Q_t - w * epsilon_t that HBO
 /// maximizes, and the cost phi = -B_t that the Bayesian optimizer
-/// minimizes. An optional energy term extends the cost to
-/// phi = -(Q - w*epsilon) + w_energy * P_avg, letting energy-aware runs
-/// trade quality/latency against battery draw; with w_energy == 0 the
-/// extended form is bitwise identical to the paper's cost.
+/// minimizes. Optional terms extend the cost to
+///
+///   phi = -(Q - w*eps) + w_energy * P_avg + market_price * x,
+///
+/// letting energy-aware runs trade quality/latency against battery draw
+/// and market runs charge a configuration's shared-resource appetite.
+///
+/// All extensions compose through one CostTerms bundle instead of an
+/// ever-growing overload ladder: each term is guarded so that a zero
+/// weight adds no arithmetic at all, which keeps default configurations
+/// bitwise identical to the paper's plain cost (and to every pre-CostTerms
+/// release). The legacy 2/3/4-argument cost_of overloads below are thin
+/// wrappers over the same implementation and remain bitwise unchanged.
 
 namespace hbosim::core {
 
@@ -18,7 +27,26 @@ double reward(double average_quality, double latency_ratio, double w);
 /// Eq. 5 (phi = -B).
 double cost(double average_quality, double latency_ratio, double w);
 
-/// Cost of a measured period.
+/// The weighted terms of the extended cost. New terms join here (not as
+/// another cost_of overload); every term after `w` must keep the
+/// "zero weight == no arithmetic" guard so defaults stay bit-exact.
+struct CostTerms {
+  /// Latency/quality weight of Eq. 3.
+  double w = 2.5;
+  /// Battery-draw weight (per watt of mean period power); pulls the
+  /// energy-aware joint cost from hbosim::power via m.avg_power_w.
+  double w_energy = 0.0;
+  /// Posted congestion price of the tenant's edge market (marketsvc);
+  /// charges the configuration's triangle budget.
+  double market_price = 0.0;
+};
+
+/// The composed cost of a measured period under `terms`. Exactly
+/// reproduces the historical overload chain: terms with zero weight
+/// contribute no floating-point operations.
+double cost_of(const hbosim::app::PeriodMetrics& m, const CostTerms& terms);
+
+/// Cost of a measured period (plain Eq. 5 form).
 double cost_of(const hbosim::app::PeriodMetrics& m, double w);
 
 /// Energy-extended cost: cost_of(m, w) + w_energy * m.avg_power_w.

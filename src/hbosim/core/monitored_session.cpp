@@ -62,6 +62,10 @@ void MonitoredSession::activate() {
   bool rejected_warm_start = false;
   if (cfg_.use_lookup_table) {
     auto hit = lookup_.find(key);
+    // A solution remembered in the other decision space (3- vs 4-target
+    // simplex) cannot be applied; treat it as a miss so the store fetch
+    // and, failing that, a full activation in the current space run.
+    if (hit && hit->z.size() != controller_.config_dim()) hit.reset();
     bool shared = false;
     if (!hit && store_.fetch) {
       // Local miss: another session may already have solved this
@@ -83,6 +87,7 @@ void MonitoredSession::activate() {
       }
       if (store_reachable) {
         hit = store_.fetch(key);
+        if (hit && hit->z.size() != controller_.config_dim()) hit.reset();
         shared = hit.has_value();
       }
     }
@@ -92,7 +97,8 @@ void MonitoredSession::activate() {
       controller_.apply_configuration(hit->z);
       app_.run_period(cfg_.hbo.monitor_period_s);  // settle
       const app::PeriodMetrics m = app_.run_period(cfg_.hbo.monitor_period_s);
-      if (cost_of(m, cfg_.hbo.w, cfg_.hbo.w_energy, cfg_.hbo.market_price) <=
+      if (cost_of(m, CostTerms{cfg_.hbo.w, cfg_.hbo.w_energy,
+                               cfg_.hbo.market_price}) <=
           hit->cost + cfg_.warm_start_tolerance) {
         if (shared) lookup_.store(key, *hit);  // adopt the pooled solution
         record.warm_start = true;

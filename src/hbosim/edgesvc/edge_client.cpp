@@ -65,9 +65,19 @@ double EdgeClient::nominal_backoff_s(int retry) const {
 }
 
 EdgeResponse EdgeClient::perform(RequestClass cls, double units,
-                                 std::uint64_t payload_bytes, double now_s) {
+                                 std::uint64_t payload_bytes, double now_s,
+                                 double timeout_override_s,
+                                 int max_attempts_override) {
   HB_REQUIRE(std::isfinite(now_s) && now_s >= 0.0,
              "edge request time must be finite and >= 0");
+  HB_REQUIRE(std::isfinite(timeout_override_s) && timeout_override_s >= 0.0,
+             "edge timeout override must be finite and >= 0");
+  HB_REQUIRE(max_attempts_override >= 0,
+             "edge attempt-budget override must be >= 0");
+  const double timeout_s =
+      timeout_override_s > 0.0 ? timeout_override_s : cfg_.timeout_s;
+  const int max_attempts =
+      max_attempts_override > 0 ? max_attempts_override : cfg_.max_attempts;
   if (resolution_ != 1.0 && cls != RequestClass::RemoteBo) {
     // Market-trimmed tenant: mesh area (and with it server work and
     // response size) shrinks with the resolution squared. Guarded so the
@@ -82,7 +92,7 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
 
   EdgeResponse out;
   double t = now_s;
-  for (int attempt = 1; attempt <= cfg_.max_attempts; ++attempt) {
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     out.attempts = attempt;
     if (attempt > 1) {
       ++stats_.retries;
@@ -98,7 +108,7 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
     req.cls = cls;
     req.units = units;
     req.arrival_s = t;
-    req.deadline_s = t + cfg_.timeout_s;
+    req.deadline_s = t + timeout_s;
     const AdmissionResult adm = server_.submit(req);
 
     if (adm.status == AdmissionStatus::Rejected) {
@@ -107,15 +117,16 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
       ++stats_.rejected_attempts;
       HB_TELEM_COUNT("edge.rejected_attempts", 1.0);
       const LinkSample nack = link_.sample(0, rng_);
-      t += nack.lost ? cfg_.timeout_s
-                     : std::min(nack.seconds, cfg_.timeout_s);
+      if (!nack.lost) out.link_s += std::min(nack.seconds, timeout_s);
+      t += nack.lost ? timeout_s
+                     : std::min(nack.seconds, timeout_s);
       continue;
     }
     if (adm.status == AdmissionStatus::Shed) {
       out.last_status = EdgeStatus::TimedOut;
       ++stats_.timeout_attempts;
       HB_TELEM_COUNT("edge.timeout_attempts", 1.0);
-      t += cfg_.timeout_s;
+      t += timeout_s;
       continue;
     }
 
@@ -130,15 +141,16 @@ EdgeResponse EdgeClient::perform(RequestClass cls, double units,
       out.last_status = EdgeStatus::LinkLost;
       ++stats_.lost_attempts;
       HB_TELEM_COUNT("edge.lost_attempts", 1.0);
-      t += cfg_.timeout_s;
+      t += timeout_s;
       continue;
     }
+    out.link_s += std::min(down.seconds, timeout_s);
     const double response_at = adm.completion_s + down.seconds;
-    if (response_at > req.arrival_s + cfg_.timeout_s) {
+    if (response_at > req.arrival_s + timeout_s) {
       out.last_status = EdgeStatus::TimedOut;
       ++stats_.timeout_attempts;
       HB_TELEM_COUNT("edge.timeout_attempts", 1.0);
-      t += cfg_.timeout_s;
+      t += timeout_s;
       continue;
     }
 

@@ -60,6 +60,11 @@ struct EdgeResponse {
   /// Simulated seconds from issue to success — or to giving up, at which
   /// point the caller takes its on-device fallback path.
   double elapsed_s = 0.0;
+  /// The on-air subset of `elapsed_s`: link samples that actually moved
+  /// bits (responses, NACKs), attempts summed. The rest of the elapsed
+  /// time the client radio idle-listens — server queueing, service, and
+  /// loss timeouts. Energy models charge the two at different power.
+  double link_s = 0.0;
 };
 
 struct EdgeClientStats {
@@ -95,8 +100,15 @@ class EdgeClient {
   /// One logical edge exchange (retries included) issued at simulated
   /// time `now_s`. `units` sizes the server-side work (mega-triangles;
   /// ignored for RemoteBo), `payload_bytes` sizes the downlink response.
+  /// `timeout_override_s` / `max_attempts_override` replace the config's
+  /// per-attempt deadline and attempt budget for this exchange only
+  /// (0 keeps the config values, bit for bit) — latency-critical classes
+  /// like AiInference give up in a frame budget instead of a mesh
+  /// download's patience.
   EdgeResponse perform(RequestClass cls, double units,
-                       std::uint64_t payload_bytes, double now_s);
+                       std::uint64_t payload_bytes, double now_s,
+                       double timeout_override_s = 0.0,
+                       int max_attempts_override = 0);
 
   /// Backoff charged before retry number `retry` (1-based), jitter
   /// excluded — exposed so tests can pin the schedule.

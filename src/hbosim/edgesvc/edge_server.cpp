@@ -13,6 +13,7 @@ const char* request_class_name(RequestClass c) {
     case RequestClass::Decimation: return "decimation";
     case RequestClass::RemoteBo: return "remote_bo";
     case RequestClass::MeshTransfer: return "mesh_transfer";
+    case RequestClass::AiInference: return "ai_inference";
   }
   return "?";
 }
@@ -44,6 +45,8 @@ void EdgeServerSpec::validate() const {
              "bo_suggest_ms must be finite and >= 0");
   HB_REQUIRE(std::isfinite(mesh_ms_per_mtri) && mesh_ms_per_mtri >= 0.0,
              "mesh_ms_per_mtri must be finite and >= 0");
+  HB_REQUIRE(std::isfinite(ai_ms_per_unit) && ai_ms_per_unit >= 0.0,
+             "ai_ms_per_unit must be finite and >= 0");
 }
 
 double EdgeServerSpec::service_seconds(RequestClass cls, double units) const {
@@ -53,6 +56,7 @@ double EdgeServerSpec::service_seconds(RequestClass cls, double units) const {
     case RequestClass::Decimation: return decimation_ms_per_mtri * 1e-3 * units;
     case RequestClass::RemoteBo: return bo_suggest_ms * 1e-3;
     case RequestClass::MeshTransfer: return mesh_ms_per_mtri * 1e-3 * units;
+    case RequestClass::AiInference: return ai_ms_per_unit * 1e-3 * units;
   }
   return 0.0;
 }

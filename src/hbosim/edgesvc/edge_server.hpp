@@ -38,7 +38,16 @@
 
 namespace hbosim::edgesvc {
 
-enum class RequestClass : std::uint8_t { Decimation, RemoteBo, MeshTransfer };
+enum class RequestClass : std::uint8_t {
+  Decimation,
+  RemoteBo,
+  MeshTransfer,
+  /// Offloaded AI inference (hbosim::offload): `units` carries the
+  /// inference's *device-milliseconds* of compute demand, which the
+  /// server converts through ai_ms_per_unit (server cores are a few
+  /// times faster than a phone accelerator).
+  AiInference,
+};
 enum class QueuePolicy : std::uint8_t { Fifo, DeadlinePriority, TenantFairShare };
 
 const char* request_class_name(RequestClass c);
@@ -56,6 +65,10 @@ struct EdgeServerSpec {
   double decimation_ms_per_mtri = 35.0;  ///< Matches the legacy service.
   double bo_suggest_ms = 2.0;            ///< Matches RemoteOptimizerConfig.
   double mesh_ms_per_mtri = 4.0;         ///< Framing/compression cost.
+  /// Server milliseconds per device-millisecond of offloaded inference
+  /// demand (AiInference `units`). 0.25 models an edge core ~4x faster
+  /// than the device accelerator the demand was profiled on.
+  double ai_ms_per_unit = 0.25;
 
   void validate() const;
   double service_seconds(RequestClass cls, double units) const;

@@ -87,6 +87,20 @@ void FleetAccumulator::add(const SessionResult& s) {
       s_market_res_.add(s.market_resolution);
     }
   }
+  // Offload roll-up: sums and id-order-fed summaries only, so the result
+  // is identical on 1 and N fleet threads (like the market roll-up).
+  if (s.offload_session) {
+    ++offload_sessions_;
+    totals_.offload.completed_inferences += s.offload_completed;
+    totals_.offload.remote_inferences += s.offload_remote;
+    totals_.offload.fallbacks += s.offload_fallbacks;
+    totals_.offload.radio_energy_j += s.radio_energy_j;
+    if (mode_ == Mode::Exact) {
+      edge_shares_.push_back(s.mean_edge_share);
+    } else {
+      s_edge_shares_.add(s.mean_edge_share);
+    }
+  }
   // Power roll-up: a session that ran with a power model always draws at
   // least the base system load, so energy > 0 identifies power-enabled
   // fleets without an extra flag threading through the call chain. The
@@ -144,6 +158,7 @@ FleetMetrics FleetAccumulator::finalize(
     out.power = FleetMetrics::PowerHealth{};
     out.sched = FleetMetrics::SchedHealth{};
     out.market = FleetMetrics::MarketHealth{};
+    out.offload = FleetMetrics::OffloadHealth{};
     return out;
   }
 
@@ -185,6 +200,20 @@ FleetMetrics FleetAccumulator::finalize(
                   static_cast<double>(market_sessions_);
   } else {
     out.market = FleetMetrics::MarketHealth{};
+  }
+
+  if (offload_sessions_ > 0) {
+    out.offload.enabled = true;
+    out.offload.edge_share = mode_ == Mode::Exact
+                                 ? summarize_metric(edge_shares_)
+                                 : s_edge_shares_.summary();
+    if (out.offload.completed_inferences > 0) {
+      out.offload.offload_rate =
+          static_cast<double>(out.offload.remote_inferences) /
+          static_cast<double>(out.offload.completed_inferences);
+    }
+  } else {
+    out.offload = FleetMetrics::OffloadHealth{};
   }
 
   if (sched_sessions_ > 0) {

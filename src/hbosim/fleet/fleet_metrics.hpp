@@ -73,6 +73,17 @@ struct SessionResult {
   double market_bandwidth_frac = 1.0;  ///< Decided link share.
   double market_price = 0.0;           ///< Posted price the tenant saw.
 
+  // Edge-offload roll-up (see hbosim::offload and FleetSpec::offload).
+  // All neutral when the fleet runs with offload disabled.
+  bool offload_session = false;    ///< Session ran with the 4-target space.
+  std::uint64_t offload_completed = 0;  ///< Inferences finished (any target).
+  std::uint64_t offload_remote = 0;     ///< Finished on the edge mirror.
+  std::uint64_t offload_fallbacks = 0;  ///< Failed exchanges -> local run.
+  double offload_rate = 0.0;       ///< remote / completed (0 when none ran).
+  double mean_edge_share = 0.0;    ///< Mean applied per-task edge share.
+  double radio_energy_j = 0.0;     ///< Radio energy charged for exchanges.
+  double offload_elapsed_s = 0.0;  ///< Summed offload exchange wall time.
+
   // Power/thermal roll-up (all neutral when the fleet runs without a
   // power model; see FleetSpec::use_power_model).
   double energy_j = 0.0;         ///< Battery draw over the session.
@@ -148,6 +159,23 @@ struct FleetMetrics {
     double mean_wait_ms = 0.0;    ///< Mean admitted-request queue wait.
   };
   EdgeHealth edge;
+
+  /// Edge-offload roll-up across sessions (see hbosim::offload and
+  /// FleetSpec::offload). Sums and id-order-fed summaries only, so the
+  /// roll-up is identical on 1 and N fleet threads. All-neutral when the
+  /// fleet ran with offload disabled (enabled == false).
+  struct OffloadHealth {
+    bool enabled = false;
+    std::uint64_t completed_inferences = 0;  ///< Any target, summed.
+    std::uint64_t remote_inferences = 0;     ///< Edge-served, summed.
+    std::uint64_t fallbacks = 0;  ///< Failed exchanges -> local, summed.
+    /// remote_inferences / completed_inferences across the fleet.
+    double offload_rate = 0.0;
+    /// Distribution of per-session mean applied edge shares.
+    MetricSummary edge_share;
+    double radio_energy_j = 0.0;  ///< Radio energy charged, summed.
+  };
+  OffloadHealth offload;
 
   /// Thermal/energy roll-up across sessions. All-neutral when the fleet
   /// ran without a power model (enabled == false).
@@ -275,18 +303,21 @@ class FleetAccumulator {
   std::size_t sched_sessions_ = 0;    ///< Sessions that carried a trace.
   std::size_t starved_sessions_ = 0;  ///< Traced sessions with starvation.
   std::size_t market_sessions_ = 0;   ///< Sessions run under the allocator.
+  std::size_t offload_sessions_ = 0;  ///< Sessions in the 4-target space.
 
   // Mode Exact: retained samples, summarized (sort-once) at finalize.
   std::vector<double> quality_, eps_, reward_;
   std::vector<double> watts_, temps_, drains_;
   std::vector<double> sched_p99s_;
   std::vector<double> market_res_;
+  std::vector<double> edge_shares_;
 
   // Mode Streaming: O(1) sketches.
   StreamingSummary s_quality_, s_eps_, s_reward_;
   StreamingSummary s_watts_, s_temps_, s_drains_;
   StreamingSummary s_sched_p99s_;
   StreamingSummary s_market_res_;
+  StreamingSummary s_edge_shares_;
 };
 
 /// Roll per-session results up into fleet-wide metrics — the exact path,

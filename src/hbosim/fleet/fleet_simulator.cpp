@@ -11,6 +11,7 @@
 #include "hbosim/common/error.hpp"
 #include "hbosim/common/rng.hpp"
 #include "hbosim/common/thread_pool.hpp"
+#include "hbosim/offload/offload.hpp"
 #include "hbosim/soc/devices_builtin.hpp"
 #include "hbosim/telemetry/telemetry.hpp"
 
@@ -107,6 +108,34 @@ void FleetSpec::validate() const {
                "FleetSpec::market.epoch_sessions needs at least one "
                "session per broker tick");
     market.allocator.validate();
+  }
+  if (offload.enabled) {
+    // Misconfigured offload fails loudly up front, mirroring the market
+    // block above: each rejected combination would otherwise run and
+    // silently produce meaningless results.
+    offload.validate();
+    HB_REQUIRE(use_edge_service,
+               "FleetSpec::offload requires use_edge_service — the edge "
+               "coordinate of the 4-target simplex routes inferences to "
+               "the session's edge mirror, so there is nothing to offload "
+               "to without one (set use_edge_service and FleetSpec::edge, "
+               "or disable FleetSpec::offload)");
+    HB_REQUIRE(!(offload.radio_w > 0.0) || use_power_model,
+               "FleetSpec::offload.radio_w charges radio energy to the "
+               "session battery, which needs use_power_model — enable the "
+               "power model or set offload.radio_w = 0 to study latency "
+               "without the energy term");
+    HB_REQUIRE(!market.enabled,
+               "FleetSpec::offload and FleetSpec::market cannot run "
+               "together — the JointAllocator's decided background does "
+               "not model per-session inference offload traffic, so the "
+               "market's epoch decisions would be priced against a load "
+               "it never saw (run them in separate fleets)");
+    HB_REQUIRE(policy.mode != PolicyMode::Bandit,
+               "FleetSpec::offload cannot run with PolicyMode::Bandit — "
+               "the LinUCB arm grid spans the 3-resource on-device "
+               "simplex and has no edge coordinate (use PolicyMode::Off "
+               "or Prior with offload)");
   }
   if (policy.mode != PolicyMode::Off) {
     HB_REQUIRE(policy.epoch_sessions >= 1,
@@ -282,6 +311,17 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
                       : broker_->make_client(spec.id, spec.seed);
     app->attach_edge(edge_client.get());
   }
+  // Edge-in-the-simplex: hand the engine a remote executor bound to this
+  // session's own mirror client and (when modelled) its own battery.
+  // Everything it touches lives on this session's Simulator, so the
+  // per-session trajectory stays a pure function of (spec, seed) and the
+  // fleet's 1-vs-N-thread bit-identity carries over unchanged.
+  std::unique_ptr<offload::OffloadExecutor> offloader;
+  if (spec_.offload.enabled && edge_client) {
+    offloader = std::make_unique<offload::OffloadExecutor>(
+        spec_.offload, *edge_client, app->sim(), app->power());
+    app->set_remote_executor(offloader->executor());
+  }
   if (market != nullptr && market->resolution != 1.0) {
     // The assigned resolution trims perceived quality (r^gamma) on top of
     // the r^2 payload/work scaling the edge client applies.
@@ -318,6 +358,9 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
   } else {
     core::MonitoredSessionConfig cfg = spec_.session;
     cfg.hbo.seed = spec.seed;
+    // Grow the decision space: the controller samples the 4-target
+    // simplex and maps the edge coordinate to per-task remote shares.
+    if (spec_.offload.enabled) cfg.hbo.offload = spec_.offload;
     // The tenant-visible price signal: HBO's cost charges the triangle
     // budget at the posted price, so expensive epochs steer the optimizer
     // toward leaner configurations (0 under PF/MaxMin — no cost change).
@@ -395,6 +438,22 @@ PolicySessionOutput FleetSimulator::run_policy_session_impl(
     out.edge_service_s = es.own_service_s;
     out.edge_elapsed_s = es.total_elapsed_s;
     broker_->absorb(*edge_client);
+  }
+  if (offloader) {
+    const ai::InferenceEngine& eng = app->engine();
+    out.offload_session = true;
+    out.offload_completed = eng.completed_inferences();
+    out.offload_remote = eng.remote_inferences();
+    out.offload_fallbacks = eng.remote_fallbacks();
+    if (out.offload_completed > 0) {
+      out.offload_rate = static_cast<double>(out.offload_remote) /
+                         static_cast<double>(out.offload_completed);
+    }
+    const offload::OffloadStats& os = offloader->stats();
+    out.radio_energy_j = os.radio_energy_j;
+    out.offload_elapsed_s = os.edge_elapsed_s;
+    const RunningStat& share = app->offload_share_stat();
+    if (share.count() > 0) out.mean_edge_share = share.mean();
   }
   if (market != nullptr) {
     out.market_session = true;

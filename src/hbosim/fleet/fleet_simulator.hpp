@@ -147,6 +147,17 @@ struct FleetSpec {
   /// Requires use_edge_service (the allocator needs a box to allocate).
   FleetMarketConfig market;
 
+  /// Put the edge *inside every session's HBO decision space* (see
+  /// hbosim::offload): with offload.enabled each session searches the
+  /// 4-target CPU/GPU/NPU/edge simplex and routes the decided share of
+  /// its inferences to its deterministic edge mirror, with radio energy
+  /// charged to the session battery. Requires use_edge_service; radio
+  /// accounting (radio_w > 0) additionally requires use_power_model.
+  /// Mutually exclusive with market.enabled and PolicyMode::Bandit (see
+  /// FleetSpec::validate for why). Disabled (the default), every session
+  /// result is bit-identical to the pre-offload fleet.
+  offload::OffloadConfig offload;
+
   /// Attach the battery/thermal/DVFS model (hbosim::power) to every
   /// session. Each session's PowerManager lives on that session's own
   /// Simulator and derives its ambient-noise seed from the session seed,

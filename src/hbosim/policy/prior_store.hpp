@@ -104,6 +104,10 @@ class ScenarioPrior : public bo::SurrogatePrior {
   /// cfg.seed_separation.
   std::vector<std::vector<double>> seed_points(std::size_t k) const override;
 
+  /// Dimension of the support points; lets consumers reject this prior
+  /// when the active search space has a different dimension.
+  std::size_t dim() const override { return dim_; }
+
   std::size_t support_size() const { return costs_.size(); }
   double global_mean() const { return global_mean_; }
 

@@ -164,6 +164,14 @@ void PowerManager::apply_opp() {
   }
 }
 
+void PowerManager::add_external_energy_j(double j) {
+  HB_REQUIRE(std::isfinite(j) && j >= 0.0,
+             "external energy must be finite and >= 0");
+  if (j == 0.0) return;
+  battery_.drain(j, 1.0);  // withdraw exactly j joules
+  external_energy_j_ += j;
+}
+
 PowerStats PowerManager::stats() const {
   PowerStats s;
   s.energy_j = battery_.energy_drawn_j();
@@ -177,6 +185,7 @@ PowerStats PowerManager::stats() const {
   s.battery_soc = battery_.soc();
   s.drain_pct_per_hour =
       s.mean_power_w / model_.battery.capacity_j * 3600.0 * 100.0;
+  s.external_energy_j = external_energy_j_;
   return s;
 }
 

@@ -86,6 +86,9 @@ struct PowerStats {
   double battery_soc = 1.0;           ///< Remaining charge at roll-up time.
   double drain_pct_per_hour = 0.0;    ///< Projected from mean power.
   double elapsed_s = 0.0;             ///< Sim-time covered by ticks.
+  /// Subset of energy_j charged through add_external_energy_j (radio
+  /// transmissions of offloaded inferences, etc.).
+  double external_energy_j = 0.0;
 };
 
 class PowerManager {
@@ -107,6 +110,14 @@ class PowerManager {
   bool throttled() const { return governor_.throttled(); }
   double battery_soc() const { return battery_.soc(); }
   double total_energy_j() const { return battery_.energy_drawn_j(); }
+
+  /// Charge `j` joules of off-die consumption (e.g. the radio energy of
+  /// an offloaded inference exchange, see hbosim::offload) straight to
+  /// the battery reservoir. Bypasses the thermal model — the antenna
+  /// does not heat the die — but flows into energy_j / mean_power_w and
+  /// therefore into the w_energy joint cost. No-op at j == 0.
+  void add_external_energy_j(double j);
+  double external_energy_j() const { return external_energy_j_; }
 
   const DevicePowerModel& model() const { return model_; }
   const PowerConfig& config() const { return cfg_; }
@@ -140,6 +151,7 @@ class PowerManager {
   SimTime last_tick_ = 0.0;
   des::EventId pending_tick_ = 0;
   bool stopped_ = false;
+  double external_energy_j_ = 0.0;
 
   // Rolling stats.
   double max_temp_c_;

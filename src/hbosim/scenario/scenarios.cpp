@@ -166,4 +166,23 @@ std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
   return mar;
 }
 
+std::vector<OffloadMatrixCell> offload_matrix() {
+  // The soak cells are *environmental* soak, not just a heavy workload:
+  // a pocket-warm 35 C ambient and a die already at 62 C, one degree
+  // under the hottest builtin governor's 63 C trip point. Every builtin
+  // device then rides the bottom of the OPP ladder (0.40x frequency)
+  // within seconds, which is the regime where shipping an inference over
+  // even a congested last-hop beats running it on the crawling local
+  // accelerator. The light cells are a 26 C desk with a mildly warm die.
+  return {
+      {ObjectSet::SC2, TaskSet::CF2, "lan", "light_cf2_x_lan", 26.0, 45.0},
+      {ObjectSet::SC2, TaskSet::CF2, "congested", "light_cf2_x_congested",
+       26.0, 45.0},
+      {ObjectSet::ThermalSoak, TaskSet::CF1, "lan", "soak_cf1_x_lan", 35.0,
+       62.0},
+      {ObjectSet::ThermalSoak, TaskSet::CF1, "congested",
+       "soak_cf1_x_congested", 35.0, 62.0},
+  };
+}
+
 }  // namespace hbosim::scenario

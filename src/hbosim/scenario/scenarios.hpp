@@ -73,4 +73,27 @@ std::unique_ptr<app::MarApp> make_app(const soc::DeviceProfile& device,
                                       std::uint64_t seed,
                                       const app::MarAppConfig& base);
 
+/// One cell of the offload study matrix: a workload (object set x
+/// taskset) crossed with an edge service preset name (resolved through
+/// edgesvc::edge_service_preset by the consumer — a string here keeps
+/// scenario free of an edgesvc dependency).
+struct OffloadMatrixCell {
+  ObjectSet objects;
+  TaskSet tasks;
+  std::string edge_preset;  ///< "lan" | "wifi" | "congested".
+  std::string name;         ///< e.g. "soak_cf1_x_congested".
+  /// Thermal environment of the cell (power::PowerConfig knobs): the soak
+  /// cells are pocket-warm with a die already at the governor trip point,
+  /// the light cells a tempered desk. See offload_matrix() for why.
+  double ambient_c = 26.0;
+  double initial_temp_c = 45.0;
+};
+
+/// The ROADMAP's ThermalSoak x congested-link study matrix: a light
+/// baseline workload and the sustained thermal-soak workload, each
+/// against a clean LAN and a congested last-hop — the four corners where
+/// the edge-in-the-simplex trade-off flips (offload pays on a hot die
+/// behind a good link; it drains the battery for nothing on a lossy one).
+std::vector<OffloadMatrixCell> offload_matrix();
+
 }  // namespace hbosim::scenario
